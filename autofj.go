@@ -1,0 +1,94 @@
+// Package autofj is the public API of the Auto-FuzzyJoin library, a Go
+// implementation of "Auto-FuzzyJoin: Auto-Program Fuzzy Similarity Joins
+// Without Labeled Examples" (Li, Cheng, Chu, He, Chaudhuri — SIGMOD 2021).
+//
+// Auto-FuzzyJoin takes a reference table L (few or no duplicates), a query
+// table R, and a precision target τ, and — without any labeled examples —
+// automatically programs a fuzzy join: it searches a space of join
+// configurations (pre-processing × tokenization × token-weights ×
+// distance-function × threshold), estimates precision from the geometry of
+// the reference table, and greedily selects a union of configurations that
+// maximizes recall subject to the precision target.
+//
+// Quick start:
+//
+//	res, err := autofj.Join(left, right, autofj.Options{PrecisionTarget: 0.9})
+//	if err != nil { ... }
+//	for _, j := range res.Joins {
+//	    fmt.Printf("%s -> %s (est. precision %.2f)\n",
+//	        right[j.Right], left[j.Left], j.Precision)
+//	}
+//	fmt.Println("program:", res.ProgramString())
+package autofj
+
+import (
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/config"
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/core"
+)
+
+// Options configures a join run; see core.Options. The zero value uses the
+// paper's defaults (τ=0.9, the full 140-function space, 50 threshold
+// steps, blocking factor β=1).
+type Options = core.Options
+
+// Result is the output of a join: the selected disjunctive program, the
+// induced many-to-one join mapping, and the label-free quality estimates.
+type Result = core.Result
+
+// Configuration is one selected ⟨join function, threshold⟩ pair.
+type Configuration = core.Configuration
+
+// JoinPair is one output row (a right-record to left-record assignment).
+type JoinPair = core.Join
+
+// JoinFunction is one point of the (pre-processing, tokenization,
+// token-weights, distance) space.
+type JoinFunction = config.JoinFunction
+
+// Join runs single-column Auto-FuzzyJoin: left is the reference table,
+// right the query table.
+func Join(left, right []string, opt Options) (*Result, error) {
+	return core.JoinTables(left, right, opt)
+}
+
+// JoinMultiColumn runs multi-column Auto-FuzzyJoin: leftCols[j] and
+// rightCols[j] are the j-th columns. Column selection and weighting are
+// automatic (Algorithm 3 of the paper).
+func JoinMultiColumn(leftCols, rightCols [][]string, opt Options) (*Result, error) {
+	return core.JoinMultiColumnTables(leftCols, rightCols, opt)
+}
+
+// Program is a serializable learned join program that can be saved as JSON
+// and re-applied to fresh tables without re-learning.
+type Program = core.Program
+
+// LoadProgram parses a JSON-encoded program produced by Result.ToProgram.
+func LoadProgram(data []byte) (*Program, error) { return core.DecodeProgram(data) }
+
+// SelfJoin finds fuzzy-duplicate pairs within one table (the table plays
+// both the reference and the query role; identity pairs are excluded).
+func SelfJoin(records []string, opt Options) (*Result, error) {
+	return core.SelfJoin(records, opt)
+}
+
+// Dedup clusters a table's fuzzy duplicates, returning clusters of record
+// indexes (size >= 2).
+func Dedup(records []string, opt Options) ([][]int, error) {
+	return core.Dedup(records, opt)
+}
+
+// FullSpace returns the paper's 140-function configuration space (Table 1).
+func FullSpace() []JoinFunction { return config.Space() }
+
+// ReducedSpace returns the 24-function space of the paper's
+// reduced-configuration experiments (Table 6).
+func ReducedSpace() []JoinFunction { return config.ReducedSpace() }
+
+// ExtendedSpace returns the 148-function space: the paper's Table 1 plus
+// the Monge-Elkan and Smith-Waterman extension distances, demonstrating
+// the framework's extensibility.
+func ExtendedSpace() []JoinFunction { return config.ExtendedSpace() }
+
+// SpaceOfSize returns a nested deterministic subspace with about n
+// functions, for configuration-space sweeps (Figure 7c/d).
+func SpaceOfSize(n int) []JoinFunction { return config.SpaceOfSize(n) }

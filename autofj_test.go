@@ -1,0 +1,128 @@
+package autofj
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPublicJoinAPI(t *testing.T) {
+	left := []string{
+		"2008 wisconsin badgers football team",
+		"2008 lsu tigers football team",
+		"2009 oregon ducks football team",
+		"2009 texas longhorns football team",
+		"2008 florida gators football team",
+		"2009 georgia bulldogs football team",
+	}
+	right := []string{
+		"2008 wisconsin badgers football season",
+		"2009 oregon ducks footbal team",
+	}
+	res, err := Join(left, right, Options{PrecisionTarget: 0.8, Space: ReducedSpace(), ThresholdSteps: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Mapping()
+	if m[0] != 0 {
+		t.Errorf("right 0 joined to %d, want 0", m[0])
+	}
+	if m[1] != 2 {
+		t.Errorf("right 1 joined to %d, want 2", m[1])
+	}
+	if !strings.Contains(res.ProgramString(), "(l, r) <=") {
+		t.Errorf("program string %q not explainable", res.ProgramString())
+	}
+}
+
+func TestPublicMultiColumnAPI(t *testing.T) {
+	leftCols := [][]string{
+		{"the silent river", "the golden empire", "the broken garden", "the hidden harbor"},
+		{"ava chen", "marco diaz", "lena fischer", "omar hassan"},
+	}
+	rightCols := [][]string{
+		{"silent river", "golden empire (remaster)"},
+		{"ava chen", "marco diaz"},
+	}
+	res, err := JoinMultiColumn(leftCols, rightCols, Options{
+		PrecisionTarget: 0.7, Space: ReducedSpace(), ThresholdSteps: 10, WeightSteps: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Columns) == 0 {
+		t.Error("no columns selected")
+	}
+}
+
+func TestProgramSaveAndApply(t *testing.T) {
+	left := []string{
+		"alpha research institute", "bravo research institute",
+		"carol analytics bureau", "delta analytics bureau",
+		"echo standards council", "foxtrot standards council",
+	}
+	right := []string{"alpha reserch institute", "carol analytics"}
+	res, err := Join(left, right, Options{PrecisionTarget: 0.7, Space: ReducedSpace(), ThresholdSteps: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := res.ToProgram().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := LoadProgram(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joins, err := prog.Apply(left, right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(joins) != len(res.Joins) {
+		t.Errorf("applied %d joins, learned %d", len(joins), len(res.Joins))
+	}
+}
+
+func TestDedupAPI(t *testing.T) {
+	records := []string{
+		"northern lights observatory", "nothern lights observatory",
+		"eastern plains weather station", "mountain ridge seismic array",
+		"coastal bay tidal monitor", "desert basin solar field",
+		"arctic circle ice laboratory", "tropical reef marine outpost",
+	}
+	clusters, err := Dedup(records, Options{PrecisionTarget: 0.9, Space: ReducedSpace(), ThresholdSteps: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Records 0 and 1 must land in the same cluster (the tiny 8-record
+	// table gives the greedy a small false-positive budget, so the cluster
+	// may contain a stray member).
+	found := false
+	for _, c := range clusters {
+		has0, has1 := false, false
+		for _, i := range c {
+			has0 = has0 || i == 0
+			has1 = has1 || i == 1
+		}
+		if has0 && has1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("duplicate pair not clustered together: %v", clusters)
+	}
+}
+
+func TestSpacesExported(t *testing.T) {
+	if len(FullSpace()) != 140 {
+		t.Errorf("FullSpace = %d, want 140", len(FullSpace()))
+	}
+	if len(ReducedSpace()) != 24 {
+		t.Errorf("ReducedSpace = %d, want 24", len(ReducedSpace()))
+	}
+	if len(SpaceOfSize(48)) != 48 {
+		t.Error("SpaceOfSize(48) wrong")
+	}
+	if len(ExtendedSpace()) != 148 {
+		t.Errorf("ExtendedSpace = %d, want 148", len(ExtendedSpace()))
+	}
+}

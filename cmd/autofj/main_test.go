@@ -1,0 +1,31 @@
+package main
+
+import (
+	"testing"
+
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/dataset"
+)
+
+func TestKeyColumn(t *testing.T) {
+	tab := dataset.Table{
+		Columns: []string{"id", "name"},
+		Rows:    [][]string{{"1", "alpha"}, {"2", "beta"}},
+	}
+	if got := keyColumn(tab, ""); got[0] != "1" {
+		t.Errorf("default key column = %v", got)
+	}
+	if got := keyColumn(tab, "name"); got[1] != "beta" {
+		t.Errorf("named key column = %v", got)
+	}
+}
+
+func TestConcat(t *testing.T) {
+	tab := dataset.Table{
+		Columns: []string{"a", "b", "c"},
+		Rows:    [][]string{{"x", "", "z"}, {"", "", ""}},
+	}
+	got := concat(tab)
+	if got[0] != "x z" || got[1] != "" {
+		t.Errorf("concat = %v", got)
+	}
+}

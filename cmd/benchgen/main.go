@@ -1,0 +1,64 @@
+// Command benchgen materializes the synthetic fuzzy-join benchmark to CSV
+// files: 50 single-column tasks and 8 multi-column tasks, each as
+// <name>_left.csv, <name>_right.csv, <name>_truth.csv.
+//
+//	benchgen -dir ./bench -scale 1.0 -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/benchgen"
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/dataset"
+)
+
+func main() {
+	var (
+		dir   = flag.String("dir", "bench", "output directory")
+		scale = flag.Float64("scale", 1.0, "size multiplier")
+		seed  = flag.Int64("seed", 1, "generation seed")
+		multi = flag.Bool("multi", true, "also emit the 8 multi-column tasks")
+	)
+	flag.Parse()
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		fatal(err)
+	}
+	opt := benchgen.Options{Seed: *seed, Scale: *scale}
+	for i := 0; i < benchgen.NumSingleColumnTasks(); i++ {
+		task := benchgen.SingleColumnTask(i, opt)
+		writeTask(*dir, task)
+	}
+	if *multi {
+		for i := 0; i < benchgen.NumMultiColumnTasks(); i++ {
+			task := benchgen.MultiColumnTask(i, opt)
+			writeTask(*dir, task)
+		}
+	}
+	fmt.Printf("wrote benchmark to %s\n", *dir)
+}
+
+func writeTask(dir string, task dataset.Task) {
+	name := strings.Fields(strings.ReplaceAll(task.Name, "(", " "))[0]
+	write := func(suffix string, fn func(f *os.File) error) {
+		f, err := os.Create(filepath.Join(dir, name+suffix))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := fn(f); err != nil {
+			fatal(err)
+		}
+	}
+	write("_left.csv", func(f *os.File) error { return task.Left.WriteCSV(f) })
+	write("_right.csv", func(f *os.File) error { return task.Right.WriteCSV(f) })
+	write("_truth.csv", func(f *os.File) error { return dataset.WriteTruthCSV(f, task.Truth) })
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/benchgen"
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/dataset"
+)
+
+func TestWriteTask(t *testing.T) {
+	dir := t.TempDir()
+	task := benchgen.SingleColumnTask(0, benchgen.Options{Seed: 1, Scale: 0.1})
+	writeTask(dir, task)
+	for _, suffix := range []string{"_left.csv", "_right.csv", "_truth.csv"} {
+		path := filepath.Join(dir, "NCAATeamSeason"+suffix)
+		if _, err := os.Stat(path); err != nil {
+			t.Fatalf("missing %s: %v", path, err)
+		}
+	}
+	// Round-trip the truth file.
+	f, err := os.Open(filepath.Join(dir, "NCAATeamSeason_truth.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	truth, err := dataset.ReadTruthCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(truth) != len(task.Truth) {
+		t.Errorf("truth round trip: %d vs %d", len(truth), len(task.Truth))
+	}
+}
+
+func TestWriteTaskMultiColumnNameSanitized(t *testing.T) {
+	dir := t.TempDir()
+	task := benchgen.MultiColumnTask(0, benchgen.Options{Seed: 1, Scale: 0.1})
+	writeTask(dir, task) // name contains "FZ (Restaurant)"
+	if _, err := os.Stat(filepath.Join(dir, "FZ_left.csv")); err != nil {
+		t.Fatalf("sanitized name not used: %v", err)
+	}
+}

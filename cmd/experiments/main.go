@@ -1,0 +1,112 @@
+// Command experiments regenerates the paper's tables and figures on the
+// synthetic benchmark.
+//
+//	experiments -exp table2 -scale 0.5 -supervised
+//	experiments -exp all
+//
+// Experiments: table2, table3, table4a, table4b, table5, table6, table7,
+// fig6a, fig6b, fig6c, fig6d, fig7a, fig7b, fig7c, fig7d, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/config"
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/experiments"
+)
+
+func main() {
+	var (
+		exp        = flag.String("exp", "table2", "experiment to run (or 'all')")
+		scale      = flag.Float64("scale", 0.25, "benchmark size multiplier")
+		seed       = flag.Int64("seed", 1, "benchmark seed")
+		tasks      = flag.String("tasks", "", "comma-separated task ids (default all 50)")
+		supervised = flag.Bool("supervised", false, "include supervised baselines (slower)")
+		reduced    = flag.Bool("reduced", false, "use the 24-configuration space")
+		steps      = flag.Int("steps", 50, "threshold discretization steps")
+		tau        = flag.Float64("tau", 0.9, "precision target")
+		csvDir     = flag.String("csv", "", "also write figure series as CSV files into this directory")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{
+		Scale:      *scale,
+		Seed:       *seed,
+		Supervised: *supervised,
+		Steps:      *steps,
+		Tau:        *tau,
+		Out:        os.Stdout,
+	}
+	if *reduced {
+		cfg.Space = config.ReducedSpace()
+	}
+	if *tasks != "" {
+		for _, part := range strings.Split(*tasks, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "experiments: bad task id %q\n", part)
+				os.Exit(2)
+			}
+			cfg.TaskIDs = append(cfg.TaskIDs, id)
+		}
+	}
+
+	saveCSV := func(name string, s experiments.Series) {
+		if *csvDir == "" {
+			return
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(filepath.Join(*csvDir, name+".csv"))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := s.WriteCSV(f); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+	runners := map[string]func(){
+		"table2":  func() { experiments.Table2(cfg) },
+		"table3":  func() { experiments.Table3(cfg) },
+		"table4a": func() { experiments.Table4a(cfg) },
+		"table4b": func() { experiments.Table4b(cfg) },
+		"table5":  func() { experiments.Table5(cfg) },
+		"table6":  func() { experiments.Table6(cfg) },
+		"table7":  func() { experiments.Table7(cfg) },
+		"fig6a":   func() { saveCSV("fig6a", experiments.Figure6a(cfg)) },
+		"fig6b":   func() { saveCSV("fig6b", experiments.Figure6b(cfg)) },
+		"fig6c":   func() { saveCSV("fig6c", experiments.Figure6c(cfg)) },
+		"fig6d":   func() { saveCSV("fig6d", experiments.Figure6d(cfg)) },
+		"fig7a":   func() { saveCSV("fig7a", experiments.Figure7a(cfg)) },
+		"fig7b":   func() { saveCSV("fig7b", experiments.Figure7b(cfg)) },
+		"fig7c":   func() { saveCSV("fig7c", experiments.Figure7c(cfg)) },
+		"fig7d":   func() { saveCSV("fig7d", experiments.Figure7d(cfg)) },
+	}
+	order := []string{"table2", "table3", "table4a", "table4b", "table5",
+		"table6", "table7", "fig6a", "fig6b", "fig6c", "fig6d",
+		"fig7a", "fig7b", "fig7c", "fig7d"}
+
+	if *exp == "all" {
+		for _, name := range order {
+			fmt.Printf("\n=== %s ===\n", name)
+			runners[name]()
+		}
+		return
+	}
+	run, ok := runners[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (have %v, all)\n", *exp, order)
+		os.Exit(2)
+	}
+	run()
+}

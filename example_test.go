@@ -1,0 +1,71 @@
+package autofj_test
+
+import (
+	"fmt"
+	"log"
+
+	autofj "github.com/chu-data-lab/autofuzzyjoin-go"
+)
+
+// ExampleJoin demonstrates the minimal single-column workflow: a curated
+// reference table, a dirty query table, and a precision target — no labels
+// and no manual parameter tuning.
+func ExampleJoin() {
+	left := []string{
+		"2008 wisconsin badgers football team",
+		"2008 lsu tigers football team",
+		"2009 oregon ducks football team",
+		"2009 texas longhorns football team",
+		"2008 florida gators football team",
+		"2009 georgia bulldogs football team",
+	}
+	right := []string{
+		"2008 wisconsin badgers football season",
+		"2009 oregon ducks footbal team",
+	}
+	res, err := autofj.Join(left, right, autofj.Options{
+		PrecisionTarget: 0.8,
+		Space:           autofj.ReducedSpace(),
+		ThresholdSteps:  20,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, j := range res.Joins {
+		fmt.Printf("%s -> %s\n", right[j.Right], left[j.Left])
+	}
+	// Output:
+	// 2008 wisconsin badgers football season -> 2008 wisconsin badgers football team
+	// 2009 oregon ducks footbal team -> 2009 oregon ducks football team
+}
+
+// ExampleResult_ToProgram shows the deployment flow: learn once, save the
+// program as JSON, re-apply it to fresh data without re-learning.
+func ExampleResult_ToProgram() {
+	left := []string{
+		"alpha research institute", "bravo research institute",
+		"carol analytics bureau", "delta standards council",
+	}
+	res, err := autofj.Join(left, []string{"alpha reserch institute"},
+		autofj.Options{PrecisionTarget: 0.7, Space: autofj.ReducedSpace(), ThresholdSteps: 15})
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err := res.ToProgram().Encode()
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := autofj.LoadProgram(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	joins, err := prog.Apply(left, []string{"bravo reserch institute"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, j := range joins {
+		fmt.Println(left[j.Left])
+	}
+	// Output:
+	// bravo research institute
+}

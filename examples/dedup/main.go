@@ -1,0 +1,68 @@
+// Dedup: unsupervised deduplication of a single dirty table via self-join,
+// plus saving the learned program for reuse — the deployment workflow.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	autofj "github.com/chu-data-lab/autofuzzyjoin-go"
+)
+
+func main() {
+	records := []string{
+		"Stanford University Department of Computer Science",
+		"Stanford Univ. Dept. of Computer Science", // duplicate of 0
+		"MIT Computer Science and AI Laboratory",
+		"MIT Computer Science & AI Lab", // duplicate of 2
+		"Carnegie Mellon Robotics Institute",
+		"ETH Zurich Institute of Machine Learning",
+		"University of Washington Paul Allen School",
+		"Univ of Washington Paul Allen School", // duplicate of 6
+		"Max Planck Institute for Informatics",
+		"Oxford Department of Statistics",
+		"Cambridge Computer Laboratory",
+		"Berkeley EECS Department",
+		"Toronto Vector Institute",
+		"Montreal MILA Quebec AI Institute",
+		"Tsinghua Institute for Interdisciplinary Information",
+		"EPFL School of Communication Sciences",
+	}
+
+	clusters, err := autofj.Dedup(records, autofj.Options{PrecisionTarget: 0.9})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("found %d duplicate clusters:\n", len(clusters))
+	for _, c := range clusters {
+		fmt.Println("  cluster:")
+		for _, i := range c {
+			fmt.Printf("    %q\n", records[i])
+		}
+	}
+
+	// Deployment: learn a join program once, save it, re-apply later.
+	left := records[:6]
+	right := []string{"stanford university dept of computer science"}
+	res, err := autofj.Join(left, right, autofj.Options{PrecisionTarget: 0.8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err := res.ToProgram().Encode()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nserialized program (%d bytes):\n%s\n", len(data), data)
+
+	prog, err := autofj.LoadProgram(data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	joins, err := prog.Apply(left, []string{"MIT computer science and ai laboratory"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, j := range joins {
+		fmt.Printf("re-applied program joined %q\n", left[j.Left])
+	}
+}

@@ -1,0 +1,65 @@
+// NCAA team seasons: the paper's motivating single-column scenario
+// (Figure 3a). The right table mixes token-level variation ("team" vs
+// "season"), misspellings, and sport/year confusions — no single
+// configuration handles all of them, which is why AutoFJ outputs a *union*
+// of configurations, and why negative rules learned from the reference
+// table veto high-similarity false positives like football-vs-baseball.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	autofj "github.com/chu-data-lab/autofuzzyjoin-go"
+)
+
+func main() {
+	var left []string
+	teams := []string{"Wisconsin Badgers", "LSU Tigers", "Michigan Wolverines",
+		"Ohio State Buckeyes", "Oregon Ducks", "Georgia Bulldogs",
+		"Florida Gators", "Texas Longhorns"}
+	for _, team := range teams {
+		for _, sport := range []string{"football", "baseball"} {
+			for year := 2005; year <= 2010; year++ {
+				left = append(left, fmt.Sprintf("%d %s %s team", year, team, sport))
+			}
+		}
+	}
+
+	right := []string{
+		"2008 Wisconsin Badgers football season", // token substitution
+		"2007 LSU Tigers baseball squad",         // token substitution
+		"2009 Michigan Wolverins football team",  // misspelling
+		"2006 Georgia Buldogs baseball team",     // misspelling
+		"2010 oregon ducks football",             // case + dropped token
+		"2008 LSU Tigers football team (ncaa)",   // extra token
+	}
+
+	res, err := autofj.Join(left, right, autofj.Options{PrecisionTarget: 0.85})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Union-of-configurations program:")
+	for i, c := range res.Program {
+		fmt.Printf("  C%d: %s\n", i+1, c)
+	}
+	fmt.Printf("\nLearned %d negative rules from the reference table, e.g.:\n",
+		res.NegativeRules.Len())
+	for i, rule := range res.NegativeRules.Rules() {
+		if i == 5 {
+			break
+		}
+		fmt.Printf("  %q ≠ %q\n", rule.A, rule.B)
+	}
+
+	fmt.Println("\nJoins:")
+	for _, j := range res.Joins {
+		fmt.Printf("  %-45q -> %q (via C%d)\n", right[j.Right], left[j.Left], j.Config+1)
+	}
+
+	if len(res.Joins) > 0 {
+		fmt.Println("\nWhy the first join happened:")
+		fmt.Println(" ", res.Explain(res.Joins[0]))
+	}
+}

@@ -1,0 +1,59 @@
+// Quickstart: join a small dirty table against a reference table without
+// labels or manual parameter tuning.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	autofj "github.com/chu-data-lab/autofuzzyjoin-go"
+)
+
+func main() {
+	// L is the reference table (curated, no duplicates).
+	left := []string{
+		"Apple iPhone 12 Pro",
+		"Apple iPhone 12 Mini",
+		"Samsung Galaxy S21",
+		"Samsung Galaxy S21 Ultra",
+		"Google Pixel 5",
+		"Google Pixel 4a",
+		"OnePlus 8 Pro",
+		"OnePlus 8T",
+		"Sony Xperia 1 II",
+		"Motorola Edge Plus",
+	}
+	// R is the dirty table to be matched against L.
+	right := []string{
+		"apple iphone 12 pro (renewed)",
+		"IPHONE 12 MINI",
+		"samsng galaxy s21", // typo
+		"Galaxy S21 Ultra 5G",
+		"google pixel5",
+		"pixel 4a google",
+		"oneplus 8t phone",
+		"completely unrelated toaster",
+	}
+
+	res, err := autofj.Join(left, right, autofj.Options{PrecisionTarget: 0.9})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Auto-programmed join:")
+	fmt.Println(" ", res.ProgramString())
+	fmt.Printf("estimated precision: %.2f\n\n", res.EstPrecision)
+	for _, j := range res.Joins {
+		fmt.Printf("%-32q -> %-28q (est. precision %.2f)\n",
+			right[j.Right], left[j.Left], j.Precision)
+	}
+	joined := map[int]bool{}
+	for _, j := range res.Joins {
+		joined[j.Right] = true
+	}
+	for r := range right {
+		if !joined[r] {
+			fmt.Printf("%-32q -> (no match)\n", right[r])
+		}
+	}
+}

@@ -1,0 +1,51 @@
+// Underspecified joins (Appendix A): without the reference-table
+// constraint, "iPhone 9, White, 128GB" could join the same product in a
+// different color, a different capacity, or nothing — three equally
+// plausible ground truths. With L as a duplicate-free reference table,
+// AutoFJ infers from the co-existence of the color and capacity variants
+// in L that both attributes distinguish entities, and declines the join.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	autofj "github.com/chu-data-lab/autofuzzyjoin-go"
+)
+
+func main() {
+	left := []string{
+		"iPhone 9, Black, 128GB", // l1: differs from r1 in color
+		"iPhone 9, White, 64GB",  // l2: differs from r1 in capacity
+		"iPhone 9, Black, 64GB",  // l3: establishes both attributes vary
+		"iPhone 9, Red, 256GB",
+		"iPhone 8, White, 128GB",
+		"iPhone 8, Black, 64GB",
+		"Galaxy S9, White, 128GB",
+		"Galaxy S9, Black, 64GB",
+	}
+	right := []string{"iPhone 9, White, 128GB"} // exact match missing from L
+
+	res, err := autofj.Join(left, right, autofj.Options{PrecisionTarget: 0.9})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("query: %q\n", right[0])
+	if len(res.Joins) == 0 {
+		fmt.Println("AutoFJ declines to join — the reference table shows that")
+		fmt.Println("both color and capacity distinguish products, so neither")
+		fmt.Println("near-match is safe (possible-world W3 of Appendix A).")
+	} else {
+		for _, j := range res.Joins {
+			fmt.Printf("joined to %q with estimated precision %.2f\n",
+				left[j.Left], j.Precision)
+		}
+	}
+	if res.NegativeRules != nil && res.NegativeRules.Len() > 0 {
+		fmt.Println("\nnegative rules learned from L:")
+		for _, r := range res.NegativeRules.Rules() {
+			fmt.Printf("  %q ≠ %q\n", r.A, r.B)
+		}
+	}
+}

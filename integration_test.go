@@ -1,0 +1,221 @@
+package autofj
+
+// End-to-end integration tests: full pipeline runs over generated
+// benchmark tasks, adversarial and degenerate inputs, and cross-feature
+// flows (learn -> serialize -> re-apply; generate -> CSV -> reload ->
+// join -> evaluate).
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/benchgen"
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/dataset"
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/metrics"
+)
+
+func integrationOptions() Options {
+	return Options{Space: ReducedSpace(), ThresholdSteps: 15}
+}
+
+func TestIntegrationBenchmarkTasks(t *testing.T) {
+	// Run the full pipeline on a spread of benchmark tasks and check the
+	// unsupervised quality contract: estimated precision must exceed τ,
+	// and actual precision must be in the same ballpark on these tasks.
+	var precs, recalls []float64
+	for _, id := range []int{0, 7, 14, 21, 28, 35, 42, 49} {
+		task := benchgen.SingleColumnTask(id, benchgen.Options{Seed: 11, Scale: 0.2})
+		res, err := Join(task.LeftKey(), task.RightKey(), integrationOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", task.Name, err)
+		}
+		if len(res.Joins) == 0 {
+			continue // some tiny tasks legitimately produce no safe joins
+		}
+		if res.EstPrecision <= 0.9 {
+			t.Errorf("%s: estimated precision %.3f below τ", task.Name, res.EstPrecision)
+		}
+		ev := metrics.Evaluate(res.Mapping(), task.Truth)
+		precs = append(precs, ev.Precision)
+		recalls = append(recalls, ev.RecallFraction)
+	}
+	if len(precs) < 5 {
+		t.Fatalf("only %d tasks produced joins", len(precs))
+	}
+	if avg := metrics.Mean(precs); avg < 0.6 {
+		t.Errorf("average actual precision %.3f too low", avg)
+	}
+	if avg := metrics.Mean(recalls); avg < 0.4 {
+		t.Errorf("average recall %.3f too low", avg)
+	}
+}
+
+func TestIntegrationCSVRoundTripJoin(t *testing.T) {
+	task := benchgen.SingleColumnTask(3, benchgen.Options{Seed: 5, Scale: 0.2})
+	var lbuf, rbuf, tbuf bytes.Buffer
+	if err := task.Left.WriteCSV(&lbuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := task.Right.WriteCSV(&rbuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := dataset.WriteTruthCSV(&tbuf, task.Truth); err != nil {
+		t.Fatal(err)
+	}
+	left, err := dataset.ReadCSV(&lbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	right, err := dataset.ReadCSV(&rbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth, err := dataset.ReadTruthCSV(&tbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Join(left.Column(0), right.Column(0), integrationOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := metrics.Evaluate(res.Mapping(), truth)
+	if ev.Predicted > 0 && ev.Precision < 0.5 {
+		t.Errorf("round-tripped join precision %.3f", ev.Precision)
+	}
+}
+
+func TestIntegrationLearnSerializeApply(t *testing.T) {
+	task := benchgen.SingleColumnTask(8, benchgen.Options{Seed: 13, Scale: 0.2})
+	left, right := task.LeftKey(), task.RightKey()
+	res, err := Join(left, right, integrationOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Program) == 0 {
+		t.Skip("no program learned on this task")
+	}
+	data, err := res.ToProgram().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := LoadProgram(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joins, err := prog.Apply(left, right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applied := map[int]int{}
+	for _, j := range joins {
+		applied[j.Right] = j.Left
+	}
+	evLearn := metrics.Evaluate(res.Mapping(), task.Truth)
+	evApply := metrics.Evaluate(applied, task.Truth)
+	if evApply.Correct < evLearn.Correct*8/10 {
+		t.Errorf("applied program recovers %d correct vs %d learned",
+			evApply.Correct, evLearn.Correct)
+	}
+}
+
+func TestIntegrationDuplicateHeavyReference(t *testing.T) {
+	// The reference-table assumption is "few or no duplicates"; violating
+	// it must degrade gracefully (conservative output), not crash.
+	var left []string
+	for i := 0; i < 30; i++ {
+		left = append(left, "identical reference record")
+	}
+	left = append(left, "the only distinct record here")
+	right := []string{"identical reference recor", "the only distinct record"}
+	res, err := Join(left, right, integrationOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Joins to the duplicated record must carry a low precision estimate.
+	for _, j := range res.Joins {
+		if j.Left < 30 && j.Precision > 0.5 {
+			t.Errorf("join into 30-duplicate cluster claims precision %.2f", j.Precision)
+		}
+	}
+}
+
+func TestIntegrationUnicodeAndEmptyRecords(t *testing.T) {
+	left := []string{
+		"日本語のレコード一番", "日本語のレコード二番", "données françaises éléphant",
+		"ελληνικά αρχεία alpha", "русская запись номер один", "",
+	}
+	right := []string{"日本語のレコード一番!", "donnees francaises elephant", "", "   "}
+	res, err := Join(left, right, integrationOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range res.Joins {
+		if left[j.Left] == "" {
+			t.Error("joined to an empty reference record")
+		}
+		if strings.TrimSpace(right[j.Right]) == "" {
+			t.Error("joined an empty query record")
+		}
+	}
+}
+
+func TestIntegrationVeryLongRecords(t *testing.T) {
+	long := strings.Repeat("alpha beta gamma delta epsilon ", 60)
+	left := []string{long + "one", long + "two", "short record"}
+	right := []string{long + "one extra", "short recor"}
+	res, err := Join(left, right, integrationOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res // must simply terminate in reasonable time without panic
+}
+
+func TestIntegrationManyToOneCardinality(t *testing.T) {
+	task := benchgen.SingleColumnTask(0, benchgen.Options{Seed: 2, Scale: 0.3})
+	res, err := Join(task.LeftKey(), task.RightKey(), integrationOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, j := range res.Joins {
+		if seen[j.Right] {
+			t.Fatal("right record joined twice (violates Definition 2.1)")
+		}
+		seen[j.Right] = true
+	}
+}
+
+func TestIntegrationMultiColumnOnBenchmark(t *testing.T) {
+	task := benchgen.MultiColumnTask(1, benchgen.Options{Seed: 7, Scale: 0.3})
+	opt := integrationOptions()
+	opt.WeightSteps = 5
+	res, err := JoinMultiColumn(task.Left.AllColumns(), task.Right.AllColumns(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := metrics.Evaluate(res.Mapping(), task.Truth)
+	if ev.Predicted == 0 {
+		t.Fatal("multi-column join produced nothing")
+	}
+	if ev.Precision < 0.5 {
+		t.Errorf("multi-column precision %.3f", ev.Precision)
+	}
+	if len(res.Columns) == 0 {
+		t.Error("no columns selected")
+	}
+}
+
+func TestIntegrationExplainEveryJoin(t *testing.T) {
+	task := benchgen.SingleColumnTask(5, benchgen.Options{Seed: 3, Scale: 0.15})
+	res, err := Join(task.LeftKey(), task.RightKey(), integrationOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range res.Joins {
+		s := res.Explain(j)
+		if !strings.Contains(s, "threshold") || !strings.Contains(s, "precision") {
+			t.Fatalf("unexplainable join: %q", s)
+		}
+	}
+}

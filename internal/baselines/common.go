@@ -1,0 +1,188 @@
+// Package baselines implements every comparison method of the paper's
+// evaluation (§5.1.3): the unsupervised Excel-like weighted scorer,
+// FuzzyWuzzy ratios, PPJoin, ECM (Fellegi-Sunter with EM), a ZeroER-style
+// Gaussian-mixture matcher, the supervised Magellan-like random forest and
+// DeepMatcher-like MLP, uncertainty-sampling active learning, the
+// best-static-join-function (BSJ) sweep, and the recall upper bound (UBR).
+//
+// Every method emits at most one scored candidate per right record
+// (many-to-one), in the metrics.ScoredJoin form consumed by the AR and
+// PR-AUC protocols.
+package baselines
+
+import (
+	"strings"
+
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/blocking"
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/distance"
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/embed"
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/metrics"
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/tokenize"
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/weights"
+)
+
+// Candidates runs the shared blocking step and returns, per right record,
+// the candidate left ids. All baselines score the same candidate pool so
+// comparisons isolate the scoring model.
+func Candidates(left, right []string, beta float64) [][]int32 {
+	ix := blocking.NewIndex(left)
+	k := blocking.K(len(left), beta)
+	out := make([][]int32, len(right))
+	for j, r := range right {
+		cands := ix.TopK(r, k, -1)
+		ids := make([]int32, len(cands))
+		for ci, c := range cands {
+			ids[ci] = c.ID
+		}
+		out[j] = ids
+	}
+	return out
+}
+
+// NumFeatures is the length of the similarity feature vector.
+const NumFeatures = 10
+
+// FeatureNames documents the feature vector layout.
+func FeatureNames() []string {
+	return []string{
+		"jaro_winkler", "edit_sim", "jaccard_word", "jaccard_3gram",
+		"cosine_idf", "containment", "dice_word", "len_ratio",
+		"prefix_ratio", "embed_cosine",
+	}
+}
+
+// Featurizer computes the similarity feature vectors used by the
+// learning-based baselines (ECM, ZeroER, Magellan, DeepMatcher, AL).
+type Featurizer struct {
+	stats *weights.Stats
+}
+
+// NewFeaturizer builds IDF statistics over both tables' records.
+func NewFeaturizer(collections ...[]string) *Featurizer {
+	var docs [][]string
+	for _, coll := range collections {
+		for _, s := range coll {
+			docs = append(docs, tokenize.Space.Tokens(strings.ToLower(s)))
+		}
+	}
+	return &Featurizer{stats: weights.NewStats(docs)}
+}
+
+// Features returns the NumFeatures-dim similarity vector of a pair; all
+// entries are similarities in [0, 1] (higher = more similar).
+func (f *Featurizer) Features(l, r string) []float64 {
+	ll, rl := strings.ToLower(l), strings.ToLower(r)
+	lw := tokenize.Space.Tokens(ll)
+	rw := tokenize.Space.Tokens(rl)
+	lv := distance.NewSparse(weights.Equal.Vector(lw, nil))
+	rv := distance.NewSparse(weights.Equal.Vector(rw, nil))
+	lg := distance.NewSparse(weights.Equal.Vector(tokenize.QGrams(ll, 3), nil))
+	rg := distance.NewSparse(weights.Equal.Vector(tokenize.QGrams(rl, 3), nil))
+	li := distance.NewSparse(weights.IDF.Vector(lw, f.stats))
+	ri := distance.NewSparse(weights.IDF.Vector(rw, f.stats))
+
+	lenL, lenR := len(ll), len(rl)
+	maxLen := lenL
+	if lenR > maxLen {
+		maxLen = lenR
+	}
+	lenRatio := 1.0
+	if maxLen > 0 {
+		minLen := lenL
+		if lenR < minLen {
+			minLen = lenR
+		}
+		lenRatio = float64(minLen) / float64(maxLen)
+	}
+	prefix := 0
+	for prefix < lenL && prefix < lenR && ll[prefix] == rl[prefix] {
+		prefix++
+	}
+	prefixRatio := 0.0
+	if maxLen > 0 {
+		prefixRatio = float64(prefix) / float64(maxLen)
+	}
+
+	return []float64{
+		distance.JaroWinkler(ll, rl),
+		1 - distance.EditDistance(ll, rl),
+		1 - distance.Jaccard(lv, rv),
+		1 - distance.Jaccard(lg, rg),
+		1 - distance.Cosine(li, ri),
+		1 - distance.Inclusion(lv, rv),
+		1 - distance.Dice(lv, rv),
+		lenRatio,
+		prefixRatio,
+		1 - embed.Distance(ll, rl),
+	}
+}
+
+// pair is a candidate (right, left) pair with its feature vector.
+type pair struct {
+	right, left int32
+	feats       []float64
+}
+
+// buildPairs featurizes all blocked candidate pairs.
+func buildPairs(f *Featurizer, left, right []string, cands [][]int32) []pair {
+	var out []pair
+	for r, cs := range cands {
+		for _, l := range cs {
+			out = append(out, pair{
+				right: int32(r),
+				left:  l,
+				feats: f.Features(left[l], right[r]),
+			})
+		}
+	}
+	return out
+}
+
+// bestPerRight reduces scored pairs to at most one join per right record,
+// keeping the highest score.
+func bestPerRight(pairs []pair, scores []float64) []metrics.ScoredJoin {
+	best := map[int32]int{}
+	for i := range pairs {
+		if j, ok := best[pairs[i].right]; !ok || scores[i] > scores[j] {
+			best[pairs[i].right] = i
+		}
+	}
+	out := make([]metrics.ScoredJoin, 0, len(best))
+	for _, i := range best {
+		out = append(out, metrics.ScoredJoin{
+			Right: int(pairs[i].right),
+			Left:  int(pairs[i].left),
+			Score: scores[i],
+		})
+	}
+	return out
+}
+
+// ConcatColumns joins multi-column rows into one string per record, the
+// way Excel/FuzzyWuzzy/PPJoin consume multi-column inputs (§5.2.2).
+func ConcatColumns(cols [][]string) []string {
+	if len(cols) == 0 {
+		return nil
+	}
+	out := make([]string, len(cols[0]))
+	for i := range out {
+		parts := make([]string, 0, len(cols))
+		for j := range cols {
+			if cols[j][i] != "" {
+				parts = append(parts, cols[j][i])
+			}
+		}
+		out[i] = strings.Join(parts, " ")
+	}
+	return out
+}
+
+// multiFeatures concatenates per-column feature vectors for the supervised
+// baselines on multi-column tasks.
+func multiFeatures(fs []*Featurizer, leftCols, rightCols [][]string, l, r int) []float64 {
+	out := make([]float64, 0, NumFeatures*len(leftCols))
+	for j := range leftCols {
+		out = append(out, fs[j].Features(leftCols[j][l], rightCols[j][r])...)
+	}
+	return out
+}

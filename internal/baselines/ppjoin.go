@@ -1,0 +1,180 @@
+package baselines
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/metrics"
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/tokenize"
+)
+
+// PPJoin implements the prefix-filtering set-similarity join of Xiao et
+// al. (TODS 2011) with Jaccard similarity over word tokens: tokens are
+// globally ordered by ascending frequency, only the first
+// |x| - ⌈t·|x|⌉ + 1 tokens of each record are indexed/probed (any pair
+// with Jaccard ≥ t must share a prefix token), the size filter prunes
+// length-incompatible candidates, and survivors are verified exactly.
+type PPJoin struct {
+	// MinSim is the Jaccard threshold t; pairs below it are not produced.
+	MinSim float64
+}
+
+// record is a tokenized, globally-ordered, deduplicated record.
+type ppRecord struct {
+	tokens []int32 // token ids in ascending global-frequency order
+}
+
+// Joins returns, per right record, its most similar left record among the
+// pairs surviving the threshold.
+func (p PPJoin) Joins(left, right []string) []metrics.ScoredJoin {
+	t := p.MinSim
+	if t <= 0 {
+		t = 0.3
+	}
+	dict := map[string]int32{}
+	df := []int{}
+	tokenIDs := func(s string) []int32 {
+		words := tokenize.Space.Tokens(strings.ToLower(s))
+		seen := map[int32]bool{}
+		ids := make([]int32, 0, len(words))
+		for _, w := range words {
+			id, ok := dict[w]
+			if !ok {
+				id = int32(len(df))
+				dict[w] = id
+				df = append(df, 0)
+			}
+			if !seen[id] {
+				seen[id] = true
+				ids = append(ids, id)
+			}
+		}
+		for _, id := range ids {
+			df[id]++
+		}
+		return ids
+	}
+	lrec := make([]ppRecord, len(left))
+	rrec := make([]ppRecord, len(right))
+	for i, s := range left {
+		lrec[i] = ppRecord{tokenIDs(s)}
+	}
+	for i, s := range right {
+		rrec[i] = ppRecord{tokenIDs(s)}
+	}
+	// Global order: ascending document frequency, ties by id.
+	order := make([]int32, len(df))
+	perm := make([]int32, len(df))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if df[order[a]] != df[order[b]] {
+			return df[order[a]] < df[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	for rank, id := range order {
+		perm[id] = int32(rank)
+	}
+	reorder := func(rec *ppRecord) {
+		for i, id := range rec.tokens {
+			rec.tokens[i] = perm[id]
+		}
+		sort.Slice(rec.tokens, func(a, b int) bool { return rec.tokens[a] < rec.tokens[b] })
+	}
+	for i := range lrec {
+		reorder(&lrec[i])
+	}
+	for i := range rrec {
+		reorder(&rrec[i])
+	}
+
+	prefixLen := func(n int) int {
+		if n == 0 {
+			return 0
+		}
+		pl := n - int(math.Ceil(t*float64(n))) + 1
+		if pl < 1 {
+			pl = 1
+		}
+		if pl > n {
+			pl = n
+		}
+		return pl
+	}
+
+	// Index left prefixes.
+	type posting struct {
+		id  int32
+		pos int32
+	}
+	index := map[int32][]posting{}
+	for i := range lrec {
+		toks := lrec[i].tokens
+		for pos := 0; pos < prefixLen(len(toks)); pos++ {
+			index[toks[pos]] = append(index[toks[pos]], posting{int32(i), int32(pos)})
+		}
+	}
+
+	var out []metrics.ScoredJoin
+	for r := range rrec {
+		ry := rrec[r].tokens
+		if len(ry) == 0 {
+			continue
+		}
+		overlap := map[int32]int{}
+		for pos := 0; pos < prefixLen(len(ry)); pos++ {
+			for _, pg := range index[ry[pos]] {
+				lx := lrec[pg.id].tokens
+				// Size filter: |x| must lie within [t·|y|, |y|/t].
+				if float64(len(lx)) < t*float64(len(ry)) || float64(len(lx)) > float64(len(ry))/t {
+					continue
+				}
+				overlap[pg.id]++
+			}
+		}
+		bestL, bestS := int32(-1), -1.0
+		for cand := range overlap {
+			s := jaccardOrdered(lrec[cand].tokens, ry)
+			if s < t {
+				continue
+			}
+			// Deterministic tie-break toward the smaller left id.
+			if s > bestS || (s == bestS && cand < bestL) {
+				bestS = s
+				bestL = cand
+			}
+		}
+		if bestL >= 0 {
+			out = append(out, metrics.ScoredJoin{Right: r, Left: int(bestL), Score: bestS})
+		}
+	}
+	return out
+}
+
+// jaccardOrdered computes exact Jaccard of two ascending token-id lists.
+func jaccardOrdered(a, b []int32) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	i, j, inter := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			inter++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}

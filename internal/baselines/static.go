@@ -1,0 +1,89 @@
+package baselines
+
+import (
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/config"
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/metrics"
+)
+
+// StaticJoins evaluates every join function of the space as a stand-alone
+// scorer: per right record it keeps the candidate with the smallest
+// distance, scored as 1-distance. The result is indexed by function,
+// feeding the Best-Static-Join-function (BSJ) comparison of Table 2.
+func StaticJoins(left, right []string, space []config.JoinFunction, cands [][]int32) [][]metrics.ScoredJoin {
+	corpus := config.NewCorpus(space, left, right)
+	profL := corpus.Profiles(left)
+	profR := corpus.Profiles(right)
+	out := make([][]metrics.ScoredJoin, len(space))
+	for fi, f := range space {
+		var joins []metrics.ScoredJoin
+		for r, cs := range cands {
+			bestL, bestD := int32(-1), 2.0
+			for _, l := range cs {
+				if d := f.Distance(profL[l], profR[r]); d < bestD {
+					bestD = d
+					bestL = l
+				}
+			}
+			if bestL >= 0 && bestD < 1 {
+				joins = append(joins, metrics.ScoredJoin{Right: r, Left: int(bestL), Score: 1 - bestD})
+			}
+		}
+		out[fi] = joins
+	}
+	return out
+}
+
+// BestStatic picks the function with the highest adjusted recall on this
+// task and returns its joins plus the function index — the per-dataset
+// building block of the BSJ baseline (which averages across datasets).
+func BestStatic(static [][]metrics.ScoredJoin, truth metrics.Truth, targetPrecision float64) (int, []metrics.ScoredJoin) {
+	bestFi, bestAR := -1, -1.0
+	for fi, joins := range static {
+		ar := metrics.AdjustedRecall(joins, truth, targetPrecision)
+		if ar > bestAR {
+			bestAR = ar
+			bestFi = fi
+		}
+	}
+	if bestFi < 0 {
+		return -1, nil
+	}
+	return bestFi, static[bestFi]
+}
+
+// UpperBoundRecall computes UBR (§5.1.3): a ground-truth pair (l, r) is
+// feasible when some configuration of the space ranks l as r's closest
+// record; UBR is the fraction of ground-truth pairs that are feasible —
+// the recall ceiling of any fuzzy-join program over this space.
+func UpperBoundRecall(left, right []string, space []config.JoinFunction, cands [][]int32, truth metrics.Truth) float64 {
+	if len(truth) == 0 {
+		return 0
+	}
+	corpus := config.NewCorpus(space, left, right)
+	profL := corpus.Profiles(left)
+	profR := corpus.Profiles(right)
+	feasible := 0
+	for r, tl := range truth {
+		if r >= len(cands) {
+			continue
+		}
+		found := false
+		for _, f := range space {
+			bestL, bestD := int32(-1), 2.0
+			for _, l := range cands[r] {
+				if d := f.Distance(profL[l], profR[r]); d < bestD {
+					bestD = d
+					bestL = l
+				}
+			}
+			if int(bestL) == tl && bestD < 1 {
+				found = true
+				break
+			}
+		}
+		if found {
+			feasible++
+		}
+	}
+	return float64(feasible) / float64(len(truth))
+}

@@ -1,0 +1,185 @@
+package benchgen
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestFiftySingleColumnTasks(t *testing.T) {
+	if NumSingleColumnTasks() != 50 {
+		t.Fatalf("have %d single-column specs, want 50", NumSingleColumnTasks())
+	}
+	names := map[string]bool{}
+	for i := 0; i < NumSingleColumnTasks(); i++ {
+		n := SingleColumnTaskName(i)
+		if names[n] {
+			t.Errorf("duplicate task name %q", n)
+		}
+		names[n] = true
+	}
+}
+
+func TestSingleColumnTaskInvariants(t *testing.T) {
+	opt := Options{Seed: 1, Scale: 0.1}
+	for i := 0; i < NumSingleColumnTasks(); i++ {
+		task := SingleColumnTask(i, opt)
+		L := task.LeftKey()
+		R := task.RightKey()
+		if len(L) < 5 {
+			t.Errorf("%s: |L| = %d too small", task.Name, len(L))
+		}
+		if len(R) == 0 {
+			t.Errorf("%s: empty right table", task.Name)
+			continue
+		}
+		// Reference-table property: L has no duplicates.
+		seen := map[string]bool{}
+		for _, l := range L {
+			if seen[l] {
+				t.Errorf("%s: duplicate reference record %q", task.Name, l)
+			}
+			seen[l] = true
+		}
+		// Ground truth points into L; no equi-joins.
+		for r, l := range task.Truth {
+			if r < 0 || r >= len(R) || l < 0 || l >= len(L) {
+				t.Fatalf("%s: truth (%d,%d) out of range", task.Name, r, l)
+			}
+			if R[r] == L[l] {
+				t.Errorf("%s: equi-join survived: %q", task.Name, R[r])
+			}
+		}
+		// Some right records must be unmatched (incomplete L); the
+		// statistical guarantee only kicks in once R is non-trivial.
+		if len(R) >= 25 && len(task.Truth) == len(R) {
+			t.Errorf("%s: no unmatched right records", task.Name)
+		}
+		if len(task.Truth) == 0 {
+			t.Errorf("%s: no ground-truth pairs", task.Name)
+		}
+	}
+}
+
+func TestSingleColumnDeterminism(t *testing.T) {
+	a := SingleColumnTask(3, Options{Seed: 5, Scale: 0.2})
+	b := SingleColumnTask(3, Options{Seed: 5, Scale: 0.2})
+	if len(a.LeftKey()) != len(b.LeftKey()) || len(a.RightKey()) != len(b.RightKey()) {
+		t.Fatal("sizes differ across identical generations")
+	}
+	for i := range a.RightKey() {
+		if a.RightKey()[i] != b.RightKey()[i] {
+			t.Fatal("right records differ across identical generations")
+		}
+	}
+	c := SingleColumnTask(3, Options{Seed: 6, Scale: 0.2})
+	same := len(c.RightKey()) == len(a.RightKey())
+	if same {
+		identical := true
+		for i := range a.RightKey() {
+			if a.RightKey()[i] != c.RightKey()[i] {
+				identical = false
+				break
+			}
+		}
+		if identical {
+			t.Error("different seeds produced identical tasks")
+		}
+	}
+}
+
+func TestManyToOneExists(t *testing.T) {
+	// At least one task should exhibit several right records mapping to
+	// the same left record.
+	task := SingleColumnTask(0, Options{Seed: 2, Scale: 1})
+	counts := map[int]int{}
+	multi := false
+	for _, l := range task.Truth {
+		counts[l]++
+		if counts[l] > 1 {
+			multi = true
+			break
+		}
+	}
+	if !multi {
+		t.Error("no many-to-one ground truth found")
+	}
+}
+
+func TestPerturbProducesVariedFamilies(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	p := DefaultProfile()
+	base := "2008 Wisconsin Badgers football team"
+	kinds := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		v := p.Apply(rng, base)
+		if v == "" || v == base {
+			t.Fatalf("Apply returned %q", v)
+		}
+		switch {
+		case strings.Contains(v, "season") || strings.Contains(v, "program"):
+			kinds["sub"] = true
+		case len(strings.Fields(v)) < len(strings.Fields(base)):
+			kinds["drop"] = true
+		case len(strings.Fields(v)) > len(strings.Fields(base)):
+			kinds["add"] = true
+		default:
+			kinds["edit"] = true
+		}
+	}
+	if len(kinds) < 3 {
+		t.Errorf("only variation kinds %v seen", kinds)
+	}
+}
+
+func TestEightMultiColumnTasks(t *testing.T) {
+	if NumMultiColumnTasks() != 8 {
+		t.Fatalf("have %d multi-column specs, want 8", NumMultiColumnTasks())
+	}
+}
+
+func TestMultiColumnTaskInvariants(t *testing.T) {
+	opt := Options{Seed: 4, Scale: 0.5}
+	for i := 0; i < NumMultiColumnTasks(); i++ {
+		task := MultiColumnTask(i, opt)
+		if len(task.Left.Columns) < 3 {
+			t.Errorf("%s: only %d columns", task.Name, len(task.Left.Columns))
+		}
+		if len(task.Left.Columns) != len(task.Right.Columns) {
+			t.Errorf("%s: column mismatch", task.Name)
+		}
+		for _, row := range task.Left.Rows {
+			if len(row) != len(task.Left.Columns) {
+				t.Fatalf("%s: ragged left row", task.Name)
+			}
+		}
+		for r, l := range task.Truth {
+			if r >= len(task.Right.Rows) || l >= len(task.Left.Rows) {
+				t.Fatalf("%s: truth out of range", task.Name)
+			}
+		}
+		if len(task.Truth) == 0 || len(task.Truth) == len(task.Right.Rows) {
+			t.Errorf("%s: truth size %d of %d rows", task.Name, len(task.Truth), len(task.Right.Rows))
+		}
+		// Key column must be duplicate-free on the left.
+		seen := map[string]bool{}
+		for _, row := range task.Left.Rows {
+			if seen[row[0]] {
+				t.Errorf("%s: duplicate key %q", task.Name, row[0])
+			}
+			seen[row[0]] = true
+		}
+	}
+}
+
+func TestMultiColumnTableShapes(t *testing.T) {
+	// Column counts mirror Table 3's schema shapes.
+	want := map[string]int{"FZ": 6, "DA": 4, "AB": 3, "RI": 10, "BR": 4, "ABN": 11, "IA": 8, "BB": 16}
+	for i := 0; i < NumMultiColumnTasks(); i++ {
+		task := MultiColumnTask(i, Options{Seed: 1, Scale: 0.2})
+		name := MultiColumnTaskName(i)
+		if got := len(task.Left.Columns); got != want[name] {
+			t.Errorf("%s has %d columns, want %d", name, got, want[name])
+		}
+	}
+}

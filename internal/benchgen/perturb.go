@@ -1,0 +1,193 @@
+package benchgen
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// Profile describes how right-table records vary from their reference
+// names, mirroring the variation families the paper documents for the
+// DBPedia snapshots: cross-snapshot token edits ("team"→"season"), typos,
+// dropped or appended tokens, punctuation/case churn, and token reorders.
+// The fields are sampling weights (relative, not normalized).
+type Profile struct {
+	Typo      float64
+	TokenSub  float64
+	TokenDrop float64
+	TokenAdd  float64
+	Punct     float64
+	Reorder   float64
+	// Subs lists substitution pairs applied by TokenSub (either direction).
+	Subs [][2]string
+	// AddTokens lists tokens appended by TokenAdd.
+	AddTokens []string
+}
+
+// defaultSubs are cross-snapshot renamings typical of Wikipedia titles.
+var defaultSubs = [][2]string{
+	{"team", "season"}, {"team", "program"}, {"the", ""},
+	{"party", "movement"}, {"stadium", "arena"}, {"county", "co."},
+	{"united", "utd"}, {"football", "footbal"}, {"association", "assoc"},
+	{"international", "intl"},
+}
+
+var defaultAdds = []string{"(disambiguation)", "jr", "ii", "official", "new"}
+
+// DefaultProfile is a balanced mix of all variation families.
+func DefaultProfile() Profile {
+	return Profile{
+		Typo: 1, TokenSub: 1, TokenDrop: 1, TokenAdd: 0.7, Punct: 0.6,
+		Reorder: 0.4, Subs: defaultSubs, AddTokens: defaultAdds,
+	}
+}
+
+// Apply perturbs s with one or two sampled variations, guaranteeing the
+// output differs from the input (the benchmark removes equi-joins, §5.1.1).
+// Returns "" when no differing variant could be produced.
+func (p Profile) Apply(rng *rand.Rand, s string) string {
+	for attempt := 0; attempt < 8; attempt++ {
+		out := p.applyOne(rng, s)
+		if rng.Float64() < 0.3 {
+			out = p.applyOne(rng, out)
+		}
+		out = strings.Join(strings.Fields(out), " ")
+		if out != "" && out != s {
+			return out
+		}
+	}
+	return ""
+}
+
+func (p Profile) applyOne(rng *rand.Rand, s string) string {
+	total := p.Typo + p.TokenSub + p.TokenDrop + p.TokenAdd + p.Punct + p.Reorder
+	if total <= 0 || s == "" {
+		return s
+	}
+	x := rng.Float64() * total
+	switch {
+	case x < p.Typo:
+		return typo(rng, s)
+	case x < p.Typo+p.TokenSub:
+		return p.tokenSub(rng, s)
+	case x < p.Typo+p.TokenSub+p.TokenDrop:
+		return tokenDrop(rng, s)
+	case x < p.Typo+p.TokenSub+p.TokenDrop+p.TokenAdd:
+		return p.tokenAdd(rng, s)
+	case x < p.Typo+p.TokenSub+p.TokenDrop+p.TokenAdd+p.Punct:
+		return punctChurn(rng, s)
+	default:
+		return reorder(rng, s)
+	}
+}
+
+// typo applies a single character edit (delete, duplicate, swap, or
+// replace) at a random alphabetic position.
+func typo(rng *rand.Rand, s string) string {
+	runes := []rune(s)
+	if len(runes) < 4 {
+		return s
+	}
+	// Pick a position inside a word (not digits: year typos would change
+	// entity identity more often than Wikipedia edits do).
+	positions := make([]int, 0, len(runes))
+	for i, r := range runes {
+		if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' {
+			positions = append(positions, i)
+		}
+	}
+	if len(positions) == 0 {
+		return s
+	}
+	i := positions[rng.Intn(len(positions))]
+	switch rng.Intn(4) {
+	case 0: // delete
+		return string(runes[:i]) + string(runes[i+1:])
+	case 1: // duplicate
+		return string(runes[:i+1]) + string(runes[i:])
+	case 2: // swap with next
+		if i+1 < len(runes) {
+			runes[i], runes[i+1] = runes[i+1], runes[i]
+		}
+		return string(runes)
+	default: // replace with neighbor letter
+		runes[i] = 'a' + rune(rng.Intn(26))
+		return string(runes)
+	}
+}
+
+func (p Profile) tokenSub(rng *rand.Rand, s string) string {
+	subs := p.Subs
+	if len(subs) == 0 {
+		subs = defaultSubs
+	}
+	words := strings.Fields(s)
+	lower := strings.ToLower(s)
+	// Find applicable substitutions first.
+	var applicable [][2]string
+	for _, sub := range subs {
+		if sub[0] != "" && strings.Contains(lower, sub[0]) {
+			applicable = append(applicable, sub)
+		}
+		if sub[1] != "" && strings.Contains(lower, sub[1]) {
+			applicable = append(applicable, [2]string{sub[1], sub[0]})
+		}
+	}
+	if len(applicable) == 0 {
+		return tokenDrop(rng, strings.Join(words, " "))
+	}
+	sub := applicable[rng.Intn(len(applicable))]
+	for i, w := range words {
+		if strings.EqualFold(w, sub[0]) {
+			words[i] = sub[1]
+			break
+		}
+	}
+	return strings.Join(words, " ")
+}
+
+func tokenDrop(rng *rand.Rand, s string) string {
+	words := strings.Fields(s)
+	if len(words) < 3 {
+		return s
+	}
+	i := rng.Intn(len(words))
+	return strings.Join(append(words[:i:i], words[i+1:]...), " ")
+}
+
+func (p Profile) tokenAdd(rng *rand.Rand, s string) string {
+	adds := p.AddTokens
+	if len(adds) == 0 {
+		adds = defaultAdds
+	}
+	add := adds[rng.Intn(len(adds))]
+	if rng.Intn(2) == 0 {
+		return s + " " + add
+	}
+	return add + " " + s
+}
+
+func punctChurn(rng *rand.Rand, s string) string {
+	switch rng.Intn(3) {
+	case 0:
+		return strings.ToLower(s)
+	case 1:
+		// Insert a comma after the first word.
+		words := strings.Fields(s)
+		if len(words) > 1 {
+			words[0] += ","
+		}
+		return strings.Join(words, " ")
+	default:
+		return strings.ReplaceAll(s, " ", "-")
+	}
+}
+
+func reorder(rng *rand.Rand, s string) string {
+	words := strings.Fields(s)
+	if len(words) < 2 {
+		return s
+	}
+	i := rng.Intn(len(words) - 1)
+	words[i], words[i+1] = words[i+1], words[i]
+	return strings.Join(words, " ")
+}

@@ -1,0 +1,195 @@
+package benchgen
+
+// Vocabulary pools used by the entity-name templates. The pools imitate the
+// naming material of the paper's DBPedia-derived entity types (team
+// seasons, political parties, stadiums, songs, ...).
+
+var years = func() []string {
+	var ys []string
+	for y := 1950; y <= 2015; y++ {
+		ys = append(ys, itoa(y))
+	}
+	return ys
+}()
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}
+
+var places = []string{
+	"Wisconsin", "Michigan", "Ohio", "Texas", "Oregon", "Georgia", "Florida",
+	"Alabama", "Auburn", "Clemson", "Stanford", "Baylor", "Houston", "Iowa",
+	"Kansas", "Kentucky", "Louisville", "Memphis", "Nebraska", "Oklahoma",
+	"Purdue", "Rutgers", "Syracuse", "Temple", "Tulane", "Utah", "Vanderbilt",
+	"Villanova", "Washington", "Arizona", "Arkansas", "California", "Colorado",
+	"Connecticut", "Delaware", "Idaho", "Illinois", "Indiana", "Maine",
+	"Maryland", "Minnesota", "Missouri", "Montana", "Nevada", "Wyoming",
+}
+
+var mascots = []string{
+	"Badgers", "Wolverines", "Buckeyes", "Longhorns", "Ducks", "Bulldogs",
+	"Gators", "Tigers", "Crimson", "Cardinals", "Bears", "Cougars", "Hawks",
+	"Jayhawks", "Wildcats", "Hoosiers", "Boilermakers", "Knights", "Orange",
+	"Owls", "Green Wave", "Utes", "Commodores", "Huskies", "Sun Devils",
+	"Razorbacks", "Golden Bears", "Buffaloes", "Vandals", "Illini", "Terrapins",
+}
+
+var sports = []string{
+	"football", "baseball", "basketball", "soccer", "hockey", "volleyball",
+	"lacrosse", "softball", "swimming", "wrestling", "tennis", "rowing",
+}
+
+var surnames = []string{
+	"Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+	"Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+	"Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Jackson", "Martin",
+	"Lee", "Perez", "Thompson", "White", "Harris", "Sanchez", "Clark",
+	"Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King",
+	"Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores", "Adams",
+	"Nelson", "Baker", "Hall", "Rivera", "Campbell", "Mitchell", "Carter",
+}
+
+var givenNames = []string{
+	"James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael",
+	"Linda", "David", "Elizabeth", "William", "Barbara", "Richard", "Susan",
+	"Joseph", "Jessica", "Thomas", "Sarah", "Charles", "Karen", "Christopher",
+	"Lisa", "Daniel", "Nancy", "Matthew", "Betty", "Anthony", "Margaret",
+	"Mark", "Sandra", "Donald", "Ashley", "Steven", "Kimberly", "Paul",
+	"Emily", "Andrew", "Donna", "Joshua", "Michelle",
+}
+
+var countries = []string{
+	"Argentina", "Australia", "Austria", "Belgium", "Brazil", "Bulgaria",
+	"Canada", "Chile", "Colombia", "Croatia", "Denmark", "Ecuador", "Egypt",
+	"Estonia", "Finland", "France", "Germany", "Ghana", "Greece", "Hungary",
+	"Iceland", "India", "Indonesia", "Ireland", "Italy", "Japan", "Kenya",
+	"Latvia", "Lithuania", "Malaysia", "Mexico", "Morocco", "Netherlands",
+	"Nigeria", "Norway", "Peru", "Poland", "Portugal", "Romania", "Senegal",
+	"Serbia", "Slovakia", "Slovenia", "Spain", "Sweden", "Switzerland",
+	"Thailand", "Tunisia", "Turkey", "Uruguay",
+}
+
+var adjectives = []string{
+	"united", "national", "democratic", "progressive", "liberal", "royal",
+	"federal", "central", "northern", "southern", "eastern", "western",
+	"independent", "popular", "social", "civic", "republican", "green",
+	"golden", "silver", "crimson", "azure", "grand", "imperial",
+}
+
+var nouns = []string{
+	"river", "empire", "garden", "horizon", "castle", "shadow", "harbor",
+	"meadow", "signal", "lantern", "summit", "valley", "canyon", "island",
+	"beacon", "bridge", "fortress", "orchard", "prairie", "glacier",
+	"monolith", "harvest", "compass", "voyage", "eclipse", "aurora",
+}
+
+var genres = []string{
+	"rock", "pop", "jazz", "blues", "folk", "electronic", "classical",
+	"country", "reggae", "metal", "punk", "soul", "funk", "ambient",
+}
+
+var animalSpecies = []string{
+	"salamander", "newt", "toad", "frog", "gecko", "iguana", "viper",
+	"python", "tortoise", "terrapin", "skink", "monitor", "chameleon",
+	"cobra", "boa", "treefrog", "caecilian", "axolotl", "mudpuppy", "siren",
+}
+
+var latinish = []string{
+	"magnus", "parvus", "albus", "niger", "rubra", "viridis", "aureus",
+	"borealis", "australis", "orientalis", "occidentalis", "vulgaris",
+	"sylvestris", "montanus", "fluviatilis", "maritimus", "campestris",
+	"domesticus", "ferox", "gracilis", "robustus", "elegans",
+}
+
+var romanNumerals = []string{
+	"I", "II", "III", "IV", "V", "VI", "VII", "VIII", "IX", "X", "XI", "XII",
+	"XIII", "XIV", "XV", "XVI", "XVII", "XVIII", "XIX", "XX", "XXI", "XXII",
+	"XXIII", "XXIV", "XXV", "XXVI", "XXVII", "XXVIII", "XXIX", "XXX",
+}
+
+var orgWords = []string{
+	"institute", "council", "bureau", "commission", "agency", "authority",
+	"foundation", "association", "federation", "society", "union", "board",
+}
+
+var cityWords = []string{
+	"Springfield", "Riverton", "Lakeside", "Fairview", "Georgetown",
+	"Arlington", "Ashland", "Burlington", "Clayton", "Dayton", "Easton",
+	"Franklin", "Greenville", "Hamilton", "Jackson", "Kingston", "Lebanon",
+	"Madison", "Newport", "Oakland", "Princeton", "Quincy", "Richmond",
+	"Salem", "Trenton", "Vernon", "Weston", "Yorktown", "Zanesville",
+	"Bristol", "Camden", "Dover", "Elgin", "Fulton", "Geneva", "Hudson",
+}
+
+var streetWords = []string{
+	"Main", "Oak", "Pine", "Maple", "Cedar", "Elm", "Walnut", "Cherry",
+	"Park", "Lake", "Hill", "Church", "High", "Mill", "Bridge", "Spring",
+	"Ridge", "Meadow", "Forest", "Sunset",
+}
+
+var instruments = []string{
+	"piano", "violin", "guitar", "cello", "flute", "trumpet", "drums",
+	"saxophone", "clarinet", "harp", "oboe", "viola",
+}
+
+var ideologies = []string{
+	"labour", "workers", "farmers", "citizens", "reform", "unity",
+	"alliance", "heritage", "justice", "freedom", "solidarity", "renewal",
+}
+
+var diseases = []string{
+	"fever", "syndrome", "disorder", "deficiency", "anemia", "dystrophy",
+	"neuropathy", "carcinoma", "dermatitis", "arthritis", "nephritis",
+	"myopathy",
+}
+
+var chemPrefixes = []string{
+	"meth", "eth", "prop", "but", "pent", "hex", "hept", "oct", "non", "dec",
+	"cyclo", "iso", "neo", "fluoro", "chloro", "bromo", "hydroxy", "amino",
+	"nitro", "oxo",
+}
+
+var chemSuffixes = []string{
+	"ane", "ene", "yne", "anol", "anal", "anone", "oate", "amide", "amine",
+	"oxide", "ase", "ine",
+}
+
+var satWords = []string{
+	"Kosmos", "Explorer", "Pioneer", "Voyager", "Meridian", "Orbita",
+	"Stella", "Aquila", "Corvus", "Cygnus", "Draco", "Lyra", "Orion",
+	"Pegasus", "Phoenix", "Vega", "Altair", "Sirius", "Polaris", "Helios",
+}
+
+var buildingWords = []string{
+	"House", "Hall", "Manor", "Court", "Tower", "Lodge", "Villa", "Palace",
+	"Cottage", "Chapel", "Abbey", "Priory", "Grange", "Keep", "Gate",
+}
+
+var awardWords = []string{
+	"Prize", "Award", "Medal", "Trophy", "Honor", "Fellowship", "Grant",
+	"Cup", "Shield", "Laurel",
+}
+
+var fields = []string{
+	"physics", "chemistry", "literature", "economics", "medicine",
+	"mathematics", "engineering", "architecture", "journalism", "music",
+	"film", "design", "history", "geography", "biology",
+}

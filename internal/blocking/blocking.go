@@ -1,0 +1,175 @@
+// Package blocking implements the default blocking strategy of
+// Auto-FuzzyJoin (§3.2): records are tokenized into character 3-grams,
+// tokens are weighted by TF-IDF over the left (reference) table, the
+// similarity of a query to a left record is the summed weight of their
+// common tokens, and for each query only the top β·√|L| left records are
+// kept as candidates.
+//
+// The same index answers both L–R blocking (candidates for right records)
+// and L–L blocking (candidates for learning safe distances and negative
+// rules), which is how Algorithm 1 uses it.
+package blocking
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/tokenize"
+)
+
+// DefaultBeta is the paper's default blocking factor β = 1.0
+// (keep top √|L| candidates per query record).
+const DefaultBeta = 1.0
+
+// Index is an inverted 3-gram index over the left table with IDF weights.
+type Index struct {
+	n        int
+	postings map[string][]int32
+	idf      map[string]float64
+	// docGrams caches each left record's distinct gram set for self-queries.
+	docGrams [][]string
+}
+
+// normalize lower-cases and collapses whitespace; blocking is deliberately
+// insensitive to the configurable pre-processing options because it must
+// work before any configuration is chosen.
+func normalize(s string) string {
+	return strings.Join(strings.Fields(strings.ToLower(s)), " ")
+}
+
+// grams returns the distinct padded 3-grams of the normalized record.
+func grams(s string) []string {
+	gs := tokenize.QGrams(normalize(s), 3)
+	seen := make(map[string]bool, len(gs))
+	out := gs[:0]
+	for _, g := range gs {
+		if !seen[g] {
+			seen[g] = true
+			out = append(out, g)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NewIndex indexes the left table.
+func NewIndex(left []string) *Index {
+	ix := &Index{
+		n:        len(left),
+		postings: make(map[string][]int32),
+		idf:      make(map[string]float64),
+		docGrams: make([][]string, len(left)),
+	}
+	for i, s := range left {
+		gs := grams(s)
+		ix.docGrams[i] = gs
+		for _, g := range gs {
+			ix.postings[g] = append(ix.postings[g], int32(i))
+		}
+	}
+	n := float64(ix.n)
+	if n < 1 {
+		n = 1
+	}
+	for g, post := range ix.postings {
+		ix.idf[g] = math.Log(1 + n/float64(len(post)))
+	}
+	return ix
+}
+
+// Len returns the number of indexed left records.
+func (ix *Index) Len() int { return ix.n }
+
+// Candidate is a blocked candidate with its TF-IDF overlap score.
+type Candidate struct {
+	ID    int32
+	Score float64
+}
+
+// TopK returns the ids of up to k left records with the largest summed IDF
+// weight of grams shared with the query, descending by score. exclude (an
+// index into the left table, or -1) is omitted from the result; use it for
+// L–L self-queries. Records sharing no gram with the query are never
+// returned.
+func (ix *Index) TopK(query string, k int, exclude int) []Candidate {
+	return ix.topK(grams(query), k, exclude)
+}
+
+// TopKSelf returns the L–L candidates for left record i, excluding itself.
+func (ix *Index) TopKSelf(i, k int) []Candidate {
+	return ix.topK(ix.docGrams[i], k, i)
+}
+
+func (ix *Index) topK(queryGrams []string, k int, exclude int) []Candidate {
+	if k <= 0 || ix.n == 0 {
+		return nil
+	}
+	scores := make(map[int32]float64)
+	for _, g := range queryGrams {
+		w := ix.idf[g]
+		for _, id := range ix.postings[g] {
+			if int(id) == exclude {
+				continue
+			}
+			scores[id] += w
+		}
+	}
+	cands := make([]Candidate, 0, len(scores))
+	for id, sc := range scores {
+		cands = append(cands, Candidate{ID: id, Score: sc})
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].Score != cands[b].Score {
+			return cands[a].Score > cands[b].Score
+		}
+		return cands[a].ID < cands[b].ID
+	})
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	return cands
+}
+
+// K returns the paper's candidate-list size ⌈β·√|L|⌉, at least 1.
+func K(nLeft int, beta float64) int {
+	if nLeft <= 0 {
+		return 1
+	}
+	k := int(math.Ceil(beta * math.Sqrt(float64(nLeft))))
+	if k < 1 {
+		k = 1
+	}
+	if k > nLeft {
+		k = nLeft
+	}
+	return k
+}
+
+// Result bundles the blocked candidate lists for a join task.
+type Result struct {
+	// LR[j] lists candidate left ids for right record j.
+	LR [][]Candidate
+	// LL[i] lists candidate left ids for left record i (self excluded).
+	LL [][]Candidate
+	// K is the per-record candidate budget that was applied.
+	K int
+}
+
+// Block runs the default blocking for tables L and R with factor beta.
+func Block(left, right []string, beta float64) *Result {
+	ix := NewIndex(left)
+	k := K(len(left), beta)
+	res := &Result{
+		LR: make([][]Candidate, len(right)),
+		LL: make([][]Candidate, len(left)),
+		K:  k,
+	}
+	for j, r := range right {
+		res.LR[j] = ix.TopK(r, k, -1)
+	}
+	for i := range left {
+		res.LL[i] = ix.TopKSelf(i, k)
+	}
+	return res
+}

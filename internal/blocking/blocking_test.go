@@ -1,0 +1,134 @@
+package blocking
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestKBudget(t *testing.T) {
+	cases := []struct {
+		n    int
+		beta float64
+		want int
+	}{
+		{100, 1.0, 10},
+		{100, 2.0, 20},
+		{100, 0.5, 5},
+		{0, 1.0, 1},
+		{4, 10.0, 4}, // capped at |L|
+		{1, 1.0, 1},
+	}
+	for _, c := range cases {
+		if got := K(c.n, c.beta); got != c.want {
+			t.Errorf("K(%d, %f) = %d, want %d", c.n, c.beta, got, c.want)
+		}
+	}
+}
+
+func TestTopKRanksTrueMatchFirst(t *testing.T) {
+	left := []string{
+		"2008 wisconsin badgers football team",
+		"2008 lsu tigers football team",
+		"artificial satellite alpha",
+		"museum of natural history",
+	}
+	ix := NewIndex(left)
+	got := ix.TopK("2008 Wisconsin Badgers Football Season", 2, -1)
+	if len(got) == 0 || got[0].ID != 0 {
+		t.Fatalf("TopK ranked %v; want left record 0 first", got)
+	}
+}
+
+func TestTopKExcludesSelf(t *testing.T) {
+	left := []string{"alpha beta gamma", "alpha beta delta", "unrelated thing"}
+	ix := NewIndex(left)
+	got := ix.TopKSelf(0, 3)
+	for _, c := range got {
+		if c.ID == 0 {
+			t.Fatal("TopKSelf returned the query record itself")
+		}
+	}
+	if len(got) == 0 || got[0].ID != 1 {
+		t.Fatalf("TopKSelf = %v; want record 1 first", got)
+	}
+}
+
+func TestTopKNoSharedGrams(t *testing.T) {
+	ix := NewIndex([]string{"aaaa"})
+	if got := ix.TopK("zzzz", 5, -1); len(got) != 0 {
+		t.Errorf("disjoint query returned %v", got)
+	}
+}
+
+func TestTopKDeterministicTieBreak(t *testing.T) {
+	left := []string{"abc", "abc", "abc"}
+	ix := NewIndex(left)
+	a := ix.TopK("abc", 3, -1)
+	b := ix.TopK("abc", 3, -1)
+	if len(a) != 3 || len(b) != 3 {
+		t.Fatalf("want 3 candidates, got %d/%d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			t.Fatal("tie-break not deterministic")
+		}
+	}
+}
+
+func TestBlockShapes(t *testing.T) {
+	left := make([]string, 25)
+	right := make([]string, 7)
+	for i := range left {
+		left[i] = fmt.Sprintf("entity number %d of the reference", i)
+	}
+	for j := range right {
+		right[j] = fmt.Sprintf("entity number %d of the reference", j)
+	}
+	res := Block(left, right, 1.0)
+	if res.K != 5 {
+		t.Errorf("K = %d, want 5 (sqrt 25)", res.K)
+	}
+	if len(res.LR) != 7 || len(res.LL) != 25 {
+		t.Fatalf("result shapes LR=%d LL=%d", len(res.LR), len(res.LL))
+	}
+	for j, cands := range res.LR {
+		if len(cands) > res.K {
+			t.Errorf("LR[%d] has %d candidates > K", j, len(cands))
+		}
+		if len(cands) == 0 || cands[0].ID != int32(j) {
+			t.Errorf("LR[%d] should rank its copy first, got %v", j, cands)
+		}
+	}
+	for i, cands := range res.LL {
+		if len(cands) > res.K {
+			t.Errorf("LL[%d] has %d candidates > K", i, len(cands))
+		}
+		for _, c := range cands {
+			if c.ID == int32(i) {
+				t.Errorf("LL[%d] includes itself", i)
+			}
+		}
+	}
+}
+
+func TestScoresDescending(t *testing.T) {
+	left := []string{"alpha beta", "alpha", "beta", "gamma delta"}
+	ix := NewIndex(left)
+	got := ix.TopK("alpha beta", 4, -1)
+	for i := 1; i < len(got); i++ {
+		if got[i].Score > got[i-1].Score {
+			t.Fatalf("scores not descending: %v", got)
+		}
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	res := Block(nil, []string{"x"}, 1.0)
+	if len(res.LR) != 1 || len(res.LR[0]) != 0 {
+		t.Errorf("blocking against empty L: %v", res.LR)
+	}
+	res = Block([]string{"x"}, nil, 1.0)
+	if len(res.LR) != 0 || len(res.LL) != 1 {
+		t.Errorf("blocking empty R: %+v", res)
+	}
+}

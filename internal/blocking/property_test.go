@@ -1,0 +1,78 @@
+package blocking
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func randomRecords(rng *rand.Rand, n int) []string {
+	vocab := []string{"alpha", "bravo", "charlie", "delta", "echo", "foxtrot",
+		"golf", "hotel", "india", "juliet", "kilo", "lima"}
+	out := make([]string, n)
+	for i := range out {
+		k := 2 + rng.Intn(4)
+		s := ""
+		for w := 0; w < k; w++ {
+			if w > 0 {
+				s += " "
+			}
+			s += vocab[rng.Intn(len(vocab))]
+		}
+		out[i] = fmt.Sprintf("%s %d", s, i%7)
+	}
+	return out
+}
+
+func TestTopKLargerKIsSuperset(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	left := randomRecords(rng, 60)
+	ix := NewIndex(left)
+	for trial := 0; trial < 50; trial++ {
+		q := randomRecords(rng, 1)[0]
+		small := ix.TopK(q, 5, -1)
+		large := ix.TopK(q, 15, -1)
+		if len(large) < len(small) {
+			t.Fatalf("larger k returned fewer candidates")
+		}
+		inLarge := map[int32]bool{}
+		for _, c := range large {
+			inLarge[c.ID] = true
+		}
+		for _, c := range small {
+			if !inLarge[c.ID] {
+				t.Fatalf("candidate %d in top-5 but not top-15 for %q", c.ID, q)
+			}
+		}
+	}
+}
+
+func TestTopKPrefixStable(t *testing.T) {
+	// The top-k list must be a prefix of the top-(k+m) list (deterministic
+	// ordering), which the greedy relies on for reproducibility.
+	rng := rand.New(rand.NewSource(37))
+	left := randomRecords(rng, 40)
+	ix := NewIndex(left)
+	q := "alpha bravo charlie 3"
+	a := ix.TopK(q, 4, -1)
+	b := ix.TopK(q, 12, -1)
+	for i := range a {
+		if i >= len(b) || a[i].ID != b[i].ID {
+			t.Fatalf("top-4 not a prefix of top-12: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestIDFOrderingRareTokensScoreHigher(t *testing.T) {
+	left := []string{
+		"common common common rareword",
+		"common common common",
+		"common common common",
+		"common common common",
+	}
+	ix := NewIndex(left)
+	got := ix.TopK("rareword query", 4, -1)
+	if len(got) == 0 || got[0].ID != 0 {
+		t.Fatalf("rare-token record not ranked first: %v", got)
+	}
+}

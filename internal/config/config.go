@@ -1,0 +1,221 @@
+// Package config enumerates the space of join functions of the
+// Auto-FuzzyJoin paper (§2.2, Table 1) and provides pre-computed record
+// profiles so that any join function can score a (left, right) pair
+// cheaply.
+//
+// A join function f = (pre-processing, tokenization, token-weights,
+// distance-function). Tokenization and weights apply only to set-based
+// distances, so the full space of Table 1 has
+// 4×2 (char) + 4×2×2×8 (set) + 4×1 (embedding) = 140 join functions.
+package config
+
+import (
+	"fmt"
+
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/textproc"
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/tokenize"
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/weights"
+)
+
+// Distance identifies one of the distance functions of Table 1.
+type Distance uint8
+
+const (
+	// ED is the normalized edit distance (character-based).
+	ED Distance = iota
+	// JW is the Jaro-Winkler distance (character-based).
+	JW
+	// JD is the weighted Jaccard distance (set-based).
+	JD
+	// CD is the cosine distance (set-based).
+	CD
+	// DD is the Dice distance (set-based).
+	DD
+	// MD is the max-inclusion distance (set-based).
+	MD
+	// ID is the directional inclusion distance of r in l (set-based).
+	ID
+	// CJD is the containment-gated Jaccard distance (hybrid, Table 1).
+	CJD
+	// CCD is the containment-gated cosine distance (hybrid, Table 1).
+	CCD
+	// CDD is the containment-gated Dice distance (hybrid, Table 1).
+	CDD
+	// GED is the embedding cosine distance.
+	GED
+	// ME is the Monge-Elkan distance (extension beyond Table 1,
+	// demonstrating the framework's extensibility).
+	ME
+	// SW is the normalized Smith-Waterman local-alignment distance
+	// (extension beyond Table 1).
+	SW
+	numDistances
+)
+
+// String returns the paper's abbreviation for the distance.
+func (d Distance) String() string {
+	switch d {
+	case ED:
+		return "ED"
+	case JW:
+		return "JW"
+	case JD:
+		return "JD"
+	case CD:
+		return "CD"
+	case DD:
+		return "DD"
+	case MD:
+		return "MD"
+	case ID:
+		return "ID"
+	case CJD:
+		return "Contain-Jaccard"
+	case CCD:
+		return "Contain-Cosine"
+	case CDD:
+		return "Contain-Dice"
+	case GED:
+		return "GED"
+	case ME:
+		return "ME"
+	case SW:
+		return "SW"
+	}
+	return "?"
+}
+
+// Class buckets distances by the record representation they consume.
+type Class uint8
+
+const (
+	// CharBased distances compare pre-processed strings directly.
+	CharBased Class = iota
+	// SetBased distances compare weighted token sets.
+	SetBased
+	// EmbeddingBased distances compare dense embeddings.
+	EmbeddingBased
+)
+
+// Class returns the representation class of the distance.
+func (d Distance) Class() Class {
+	switch d {
+	case ED, JW, ME, SW:
+		return CharBased
+	case GED:
+		return EmbeddingBased
+	default:
+		return SetBased
+	}
+}
+
+// setDistances is the 8-function set-based block of Table 1.
+var setDistances = []Distance{JD, CD, MD, DD, ID, CJD, CCD, CDD}
+
+// charDistances is the character-based block of Table 1.
+var charDistances = []Distance{JW, ED}
+
+// JoinFunction is one point in the (P, T, W, D) space. Tok and Weight are
+// meaningful only when Dist is set-based.
+type JoinFunction struct {
+	Pre    textproc.Option
+	Tok    tokenize.Option
+	Weight weights.Scheme
+	Dist   Distance
+}
+
+// Name returns a human-readable identifier, e.g. "L+S/SP/IDFW/JD".
+func (f JoinFunction) Name() string {
+	switch f.Dist.Class() {
+	case CharBased, EmbeddingBased:
+		return fmt.Sprintf("%s/%s", f.Pre, f.Dist)
+	default:
+		return fmt.Sprintf("%s/%s/%s/%s", f.Pre, f.Tok, f.Weight, f.Dist)
+	}
+}
+
+// Space returns the full 140-function space of Table 1:
+// 4 pre-processing × 2 char distances, plus
+// 4 pre × 2 tokenizations × 2 weights × 8 set distances, plus
+// 4 pre × 1 embedding distance.
+func Space() []JoinFunction {
+	var out []JoinFunction
+	for _, pre := range textproc.Options() {
+		for _, d := range charDistances {
+			out = append(out, JoinFunction{Pre: pre, Dist: d})
+		}
+	}
+	for _, pre := range textproc.Options() {
+		for _, tok := range tokenize.Options() {
+			for _, w := range weights.Options() {
+				for _, d := range setDistances {
+					out = append(out, JoinFunction{Pre: pre, Tok: tok, Weight: w, Dist: d})
+				}
+			}
+		}
+	}
+	for _, pre := range textproc.Options() {
+		out = append(out, JoinFunction{Pre: pre, Dist: GED})
+	}
+	return out
+}
+
+// ReducedSpace returns the 24-function space used in the paper's
+// reduced-configuration experiments (Table 6). The paper does not list the
+// exact subset; we follow its recipe of dropping pre-processing options
+// ("use L and L+S+RP instead of all four") and keep the five standard
+// set-based distances under equal weights plus both character distances:
+// 2 pre × 2 char + 2 pre × 2 tok × 1 weight × 5 set = 24.
+func ReducedSpace() []JoinFunction {
+	pres := []textproc.Option{textproc.Lower, textproc.LowerStemRemovePunct}
+	var out []JoinFunction
+	for _, pre := range pres {
+		for _, d := range charDistances {
+			out = append(out, JoinFunction{Pre: pre, Dist: d})
+		}
+	}
+	std := []Distance{JD, CD, MD, DD, ID}
+	for _, pre := range pres {
+		for _, tok := range tokenize.Options() {
+			for _, d := range std {
+				out = append(out, JoinFunction{Pre: pre, Tok: tok, Weight: weights.IDF, Dist: d})
+			}
+		}
+	}
+	return out
+}
+
+// ExtendedSpace returns the full space plus the extension distances
+// (Monge-Elkan and Smith-Waterman under every pre-processing pipeline):
+// 148 join functions. This demonstrates the "Extensible" property of §1 —
+// new distance functions enter the search transparently, and the ablation
+// benches compare Space() against ExtendedSpace().
+func ExtendedSpace() []JoinFunction {
+	out := Space()
+	for _, pre := range textproc.Options() {
+		for _, d := range []Distance{ME, SW} {
+			out = append(out, JoinFunction{Pre: pre, Dist: d})
+		}
+	}
+	return out
+}
+
+// SpaceOfSize returns a deterministic subspace of the full space with
+// roughly n functions, for the "varying configuration space" experiments
+// (Figure 7c/d). n is clamped to [1, 140]; the subsets are nested (a larger
+// space contains every smaller one) by taking a stable stride over Space().
+func SpaceOfSize(n int) []JoinFunction {
+	full := Space()
+	if n >= len(full) {
+		return full
+	}
+	if n < 1 {
+		n = 1
+	}
+	out := make([]JoinFunction, 0, n)
+	// Stride selection keeps the mix of distance classes representative.
+	for i := 0; i < n; i++ {
+		out = append(out, full[(i*len(full))/n])
+	}
+	return out
+}

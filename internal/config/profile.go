@@ -1,0 +1,157 @@
+package config
+
+import (
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/distance"
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/embed"
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/textproc"
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/tokenize"
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/weights"
+)
+
+const (
+	numPre = 4
+	numTok = 2
+	numWt  = 2
+)
+
+// Corpus holds per-(pre-processing, tokenization) IDF statistics computed
+// over all records of both input tables, plus which representations the
+// configured space needs. Build one Corpus per join task and derive record
+// Profiles from it.
+type Corpus struct {
+	stats    [numPre][numTok]*weights.Stats
+	needVec  [numPre][numTok][numWt]bool
+	needEmb  [numPre]bool
+	needProc [numPre]bool
+}
+
+// NewCorpus computes the corpus statistics required by space over the given
+// record collections (typically L and R).
+func NewCorpus(space []JoinFunction, collections ...[]string) *Corpus {
+	c := &Corpus{}
+	for _, f := range space {
+		c.needProc[f.Pre] = true
+		switch f.Dist.Class() {
+		case SetBased:
+			c.needVec[f.Pre][f.Tok][f.Weight] = true
+		case EmbeddingBased:
+			c.needEmb[f.Pre] = true
+		}
+	}
+	// IDF stats are needed for every (pre, tok) that has an IDF vector.
+	for p := 0; p < numPre; p++ {
+		for t := 0; t < numTok; t++ {
+			if !c.needVec[p][t][weights.IDF] {
+				continue
+			}
+			var docs [][]string
+			pre := textproc.Option(p)
+			tok := tokenize.Option(t)
+			for _, coll := range collections {
+				for _, s := range coll {
+					docs = append(docs, tok.Tokens(pre.Apply(s)))
+				}
+			}
+			c.stats[p][t] = weights.NewStats(docs)
+		}
+	}
+	return c
+}
+
+// Stats exposes the IDF table for a (pre, tok) pair; nil when the space
+// does not use IDF weighting for that pair.
+func (c *Corpus) Stats(pre textproc.Option, tok tokenize.Option) *weights.Stats {
+	return c.stats[pre][tok]
+}
+
+// Profile is the pre-computed multi-representation view of one record:
+// its pre-processed strings, weighted token sets, and embeddings, for every
+// representation the space requires.
+type Profile struct {
+	Raw  string
+	proc [numPre]string
+	vecs [numPre][numTok][numWt]distance.Sparse
+	emb  [numPre]embed.Vector
+}
+
+// Profile builds the representation bundle for one record.
+func (c *Corpus) Profile(s string) *Profile {
+	p := &Profile{Raw: s}
+	for pi := 0; pi < numPre; pi++ {
+		if !c.needProc[pi] {
+			continue
+		}
+		pre := textproc.Option(pi)
+		p.proc[pi] = pre.Apply(s)
+		if c.needEmb[pi] {
+			p.emb[pi] = embed.Embed(p.proc[pi])
+		}
+		for ti := 0; ti < numTok; ti++ {
+			toks := []string(nil)
+			tokenized := false
+			for wi := 0; wi < numWt; wi++ {
+				if !c.needVec[pi][ti][wi] {
+					continue
+				}
+				if !tokenized {
+					toks = tokenize.Option(ti).Tokens(p.proc[pi])
+					tokenized = true
+				}
+				scheme := weights.Scheme(wi)
+				p.vecs[pi][ti][wi] = distance.NewSparse(scheme.Vector(toks, c.stats[pi][ti]))
+			}
+		}
+	}
+	return p
+}
+
+// Profiles builds profiles for a whole record collection.
+func (c *Corpus) Profiles(records []string) []*Profile {
+	out := make([]*Profile, len(records))
+	for i, s := range records {
+		out[i] = c.Profile(s)
+	}
+	return out
+}
+
+// Processed returns the record's pre-processed string under pre.
+func (p *Profile) Processed(pre textproc.Option) string { return p.proc[pre] }
+
+// Distance evaluates the join function on a (left, right) profile pair.
+// Directional distances (ID and the Contain-* family) treat l as the
+// reference-side record and r as the query-side record, per §2.2.
+func (f JoinFunction) Distance(l, r *Profile) float64 {
+	switch f.Dist {
+	case ED:
+		return distance.EditDistance(l.proc[f.Pre], r.proc[f.Pre])
+	case JW:
+		return distance.JaroWinklerDistance(l.proc[f.Pre], r.proc[f.Pre])
+	case ME:
+		return distance.MongeElkan(l.proc[f.Pre], r.proc[f.Pre])
+	case SW:
+		return distance.SmithWaterman(l.proc[f.Pre], r.proc[f.Pre])
+	case GED:
+		return embed.CosineDistance(l.emb[f.Pre], r.emb[f.Pre])
+	}
+	a := l.vecs[f.Pre][f.Tok][f.Weight]
+	b := r.vecs[f.Pre][f.Tok][f.Weight]
+	switch f.Dist {
+	case JD:
+		return distance.Jaccard(a, b)
+	case CD:
+		return distance.Cosine(a, b)
+	case DD:
+		return distance.Dice(a, b)
+	case MD:
+		return distance.MaxInclusion(a, b)
+	case ID:
+		return distance.Inclusion(a, b)
+	case CJD:
+		return distance.ContainJaccard(a, b)
+	case CCD:
+		return distance.ContainCosine(a, b)
+	case CDD:
+		return distance.ContainDice(a, b)
+	}
+	return 1
+}

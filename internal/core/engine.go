@@ -1,0 +1,450 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/config"
+)
+
+// unjoinableDist is the sentinel above which a candidate distance is
+// treated as "no match possible" (e.g. the Contain-* hybrids emit exactly 1
+// for non-contained pairs). Thresholds never reach this value, so such
+// pairs can never join.
+const unjoinableDist = 0.9995
+
+// maxBallCount caps the 2θ-ball cardinality; precision estimates below
+// 1/250 are all "hopeless" for any realistic τ, so the cap loses nothing.
+const maxBallCount = 250
+
+// engineInput abstracts the distance oracle so that the same greedy
+// machinery (Algorithm 1) serves both single-column joins (profile-based
+// distances) and multi-column joins (weighted per-column tensors).
+type engineInput struct {
+	space  []config.JoinFunction
+	steps  int
+	nL, nR int
+	// lrCand[r] lists candidate left ids for right record r (post blocking
+	// and negative-rule filtering); llCand[l] lists candidate left ids for
+	// left record l (self excluded).
+	lrCand [][]int32
+	llCand [][]int32
+	// lrDist returns the distance under function fi between right record r
+	// and its ci-th candidate; llDist the distance between left record l
+	// (ball center) and its ci-th candidate.
+	lrDist func(fi, r, ci int) float64
+	llDist func(fi, l, ci int) float64
+	// selfJoin marks that right record r IS left record r (same table):
+	// the 2θ-ball count around a join target must then exclude the query
+	// record itself, which would otherwise poison every estimate with a
+	// guaranteed extra ball member (its own duplicate candidate).
+	selfJoin bool
+	// ballFactor scales the estimation ball radius (2.0 per Eq. 8).
+	ballFactor float64
+}
+
+// preparedFn is the pre-computation of Algorithm 1 lines 3–4 for one join
+// function: per-right-record closest candidates, the threshold grid, and
+// the 2θ-ball counts behind the precision estimate of Eq. (9).
+type preparedFn struct {
+	thresholds []float64 // grid of s candidate θ values
+	bestL      []int32   // closest candidate per r, -1 if none
+	bestD      []float64 // distance to bestL
+	kMin       []int32   // first grid index at which r joins; steps if never
+	// cnt[r][k] is the number of L records in the 2·θ_k ball around
+	// bestL[r] (including the center), for k >= kMin[r]; nil when r can
+	// never join under this function.
+	cnt [][]uint8
+	// totalP[k] = Σ_r joined at k of 1/cnt[r][k]; totalCnt[k] the count of
+	// joined rows. These make per-iteration profit lookups O(1).
+	totalP   []float64
+	totalCnt []int
+	// joinable lists r ids with kMin < steps, ascending by kMin.
+	joinable []int32
+}
+
+// prepare runs the distance computation and precision pre-computation for
+// every function in the space, fanning out across CPUs (each function's
+// pre-computation is independent). Functions with no joinable pair are nil.
+func prepare(in *engineInput, parallelism int) []*preparedFn {
+	fns := make([]*preparedFn, len(in.space))
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(in.space) {
+		parallelism = len(in.space)
+	}
+	if parallelism <= 1 {
+		for fi := range in.space {
+			fns[fi] = prepareFn(in, fi)
+		}
+		return fns
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				fi := int(atomic.AddInt64(&next, 1))
+				if fi >= len(in.space) {
+					return
+				}
+				fns[fi] = prepareFn(in, fi)
+			}
+		}()
+	}
+	wg.Wait()
+	return fns
+}
+
+func prepareFn(in *engineInput, fi int) *preparedFn {
+	s := in.steps
+	fn := &preparedFn{
+		bestL:    make([]int32, in.nR),
+		bestD:    make([]float64, in.nR),
+		kMin:     make([]int32, in.nR),
+		cnt:      make([][]uint8, in.nR),
+		totalP:   make([]float64, s),
+		totalCnt: make([]int, s),
+	}
+	dCap := 0.0
+	anyJoinable := false
+	for r := 0; r < in.nR; r++ {
+		fn.bestL[r] = -1
+		fn.bestD[r] = math.Inf(1)
+		fn.kMin[r] = int32(s)
+		for ci := range in.lrCand[r] {
+			if d := in.lrDist(fi, r, ci); d < fn.bestD[r] {
+				fn.bestD[r] = d
+				fn.bestL[r] = in.lrCand[r][ci]
+			}
+		}
+		if fn.bestL[r] >= 0 && fn.bestD[r] < unjoinableDist {
+			anyJoinable = true
+			if fn.bestD[r] > dCap {
+				dCap = fn.bestD[r]
+			}
+		}
+	}
+	if !anyJoinable {
+		return nil
+	}
+	fn.thresholds = make([]float64, s)
+	for k := 0; k < s; k++ {
+		fn.thresholds[k] = dCap * float64(k+1) / float64(s)
+	}
+	// Sorted L-L ball distances, computed lazily per needed left record.
+	balls := make(map[int32][]float64)
+	ballFor := func(l int32) []float64 {
+		if b, ok := balls[l]; ok {
+			return b
+		}
+		cands := in.llCand[l]
+		b := make([]float64, len(cands))
+		for ci := range cands {
+			b[ci] = in.llDist(fi, int(l), ci)
+		}
+		sort.Float64s(b)
+		balls[l] = b
+		return b
+	}
+	for r := 0; r < in.nR; r++ {
+		d := fn.bestD[r]
+		if fn.bestL[r] < 0 || d >= unjoinableDist {
+			continue
+		}
+		var kMin int32
+		if dCap > 0 {
+			kMin = int32(math.Ceil(d*float64(s)/dCap)) - 1
+			if kMin < 0 {
+				kMin = 0
+			}
+			// Float round-off can land one step early; repair.
+			for kMin < int32(s) && fn.thresholds[kMin] < d {
+				kMin++
+			}
+		}
+		if kMin >= int32(s) {
+			continue
+		}
+		fn.kMin[r] = kMin
+		ball := ballFor(fn.bestL[r])
+		// In self-join mode the query record r is itself in the reference
+		// table; since θ_k >= d it always falls inside the ball and must
+		// be discounted when it is among l's blocked candidates.
+		selfDiscount := 0
+		if in.selfJoin {
+			for _, id := range in.llCand[fn.bestL[r]] {
+				if int(id) == r {
+					selfDiscount = 1
+					break
+				}
+			}
+		}
+		factor := in.ballFactor
+		if factor <= 0 {
+			factor = 2
+		}
+		counts := make([]uint8, s)
+		bi := 0
+		for k := int(kMin); k < s; k++ {
+			radius := factor * fn.thresholds[k]
+			for bi < len(ball) && ball[bi] <= radius {
+				bi++
+			}
+			c := bi + 1 - selfDiscount // +1 for the center record itself
+			if c < 1 {
+				c = 1
+			}
+			if c > maxBallCount {
+				c = maxBallCount
+			}
+			counts[k] = uint8(c)
+			fn.totalP[k] += 1 / float64(c)
+			fn.totalCnt[k]++
+		}
+		fn.cnt[r] = counts
+		fn.joinable = append(fn.joinable, int32(r))
+	}
+	if len(fn.joinable) == 0 {
+		return nil
+	}
+	sort.Slice(fn.joinable, func(a, b int) bool {
+		return fn.kMin[fn.joinable[a]] < fn.kMin[fn.joinable[b]]
+	})
+	return fn
+}
+
+// engineOut is the raw outcome of the greedy search.
+type engineOut struct {
+	program      []Configuration
+	assignedL    []int32
+	assignedP    []float64
+	assignedD    []float64
+	assignedCfg  []int32
+	assignedIter []int32
+	tp, fp       float64
+	trace        []IterationStat
+}
+
+// betterProfit reports whether profit tp1/fp1 beats tp2/fp2, breaking ties
+// by larger TP. Cross-multiplication avoids dividing by zero FP.
+func betterProfit(tp1, fp1, tp2, fp2 float64) bool {
+	a := tp1 * fp2
+	b := tp2 * fp1
+	if a != b {
+		return a > b
+	}
+	return tp1 > tp2
+}
+
+// greedy implements Algorithm 1 lines 5–15 over the prepared space.
+func greedy(in *engineInput, fns []*preparedFn, opt Options) *engineOut {
+	s := in.steps
+	out := &engineOut{
+		assignedL:    make([]int32, in.nR),
+		assignedP:    make([]float64, in.nR),
+		assignedD:    make([]float64, in.nR),
+		assignedCfg:  make([]int32, in.nR),
+		assignedIter: make([]int32, in.nR),
+	}
+	for r := range out.assignedL {
+		out.assignedL[r] = -1
+		out.assignedCfg[r] = -1
+	}
+	// assignedP/assignedCnt mirror preparedFn.totalP/totalCnt but only over
+	// rows already assigned, so the marginal profit of a candidate config
+	// is a pair of O(1) lookups.
+	asgP := make([][]float64, len(fns))
+	asgCnt := make([][]int, len(fns))
+	for fi := range fns {
+		if fns[fi] != nil {
+			asgP[fi] = make([]float64, s)
+			asgCnt[fi] = make([]int, s)
+		}
+	}
+	// markAssigned removes row r's contribution from every function's
+	// unassigned pool.
+	markAssigned := func(r int) {
+		for fi, fn := range fns {
+			if fn == nil || fn.cnt[r] == nil {
+				continue
+			}
+			for k := int(fn.kMin[r]); k < s; k++ {
+				asgP[fi][k] += 1 / float64(fn.cnt[r][k])
+				asgCnt[fi][k]++
+			}
+		}
+	}
+
+	if opt.SingleConfiguration {
+		// AutoFJ-UC ablation: pick the single configuration with the
+		// highest estimated recall whose estimated precision exceeds τ.
+		bestFi, bestK, bestTP := -1, -1, 0.0
+		for fi, fn := range fns {
+			if fn == nil {
+				continue
+			}
+			for k := 0; k < s; k++ {
+				tp := fn.totalP[k]
+				cnt := fn.totalCnt[k]
+				if cnt == 0 {
+					continue
+				}
+				if tp/float64(cnt) > opt.PrecisionTarget && tp > bestTP {
+					bestFi, bestK, bestTP = fi, k, tp
+				}
+			}
+		}
+		if bestFi >= 0 {
+			addConfig(in, fns[bestFi], bestFi, bestK, 1, out, markAssigned)
+			out.trace = append(out.trace, IterationStat{
+				Config:       out.program[0],
+				EstPrecision: estPrecision(out.tp, out.fp),
+				EstRecall:    out.tp,
+				Joined:       countAssigned(out.assignedL),
+			})
+		}
+		return out
+	}
+
+	for iter := 1; ; iter++ {
+		if opt.MaxIterations > 0 && iter > opt.MaxIterations {
+			break
+		}
+		bestFi, bestK := -1, -1
+		bestTP, bestFP := 0.0, 0.0
+		found := false
+		for fi, fn := range fns {
+			if fn == nil {
+				continue
+			}
+			for k := 0; k < s; k++ {
+				dCnt := fn.totalCnt[k] - asgCnt[fi][k]
+				if dCnt == 0 {
+					continue
+				}
+				dTP := fn.totalP[k] - asgP[fi][k]
+				tp := out.tp + dTP
+				fp := out.fp + (float64(dCnt) - dTP)
+				if !found || betterProfit(tp, fp, bestTP, bestFP) {
+					found = true
+					bestFi, bestK, bestTP, bestFP = fi, k, tp, fp
+				}
+			}
+		}
+		if !found {
+			break
+		}
+		if estPrecision(bestTP, bestFP) <= opt.PrecisionTarget {
+			break
+		}
+		addConfig(in, fns[bestFi], bestFi, bestK, iter, out, markAssigned)
+		out.trace = append(out.trace, IterationStat{
+			Config:       out.program[len(out.program)-1],
+			EstPrecision: estPrecision(out.tp, out.fp),
+			EstRecall:    out.tp,
+			Joined:       countAssigned(out.assignedL),
+		})
+	}
+	return out
+}
+
+// addConfig appends configuration (fi, k) to the program and applies its
+// joins, resolving conflicts toward the higher-precision assignment
+// (§3.1, "Estimate for a set of configurations").
+func addConfig(in *engineInput, fn *preparedFn, fi, k, iter int, out *engineOut, markAssigned func(int)) {
+	cfgIdx := int32(len(out.program))
+	out.program = append(out.program, Configuration{
+		Function:  in.space[fi],
+		Threshold: fn.thresholds[k],
+	})
+	for _, r32 := range fn.joinable {
+		r := int(r32)
+		if fn.kMin[r] > int32(k) {
+			break // joinable is sorted by kMin
+		}
+		p := 1 / float64(fn.cnt[r][k])
+		switch {
+		case out.assignedL[r] < 0:
+			out.assignedL[r] = fn.bestL[r]
+			out.assignedP[r] = p
+			out.assignedD[r] = fn.bestD[r]
+			out.assignedCfg[r] = cfgIdx
+			out.assignedIter[r] = int32(iter)
+			out.tp += p
+			out.fp += 1 - p
+			markAssigned(r)
+		case out.assignedL[r] == fn.bestL[r]:
+			// Same join produced again: keep the more confident estimate.
+			if p > out.assignedP[r] {
+				out.tp += p - out.assignedP[r]
+				out.fp -= p - out.assignedP[r]
+				out.assignedP[r] = p
+			}
+		default:
+			// Conflicting assignment: keep the more confident join.
+			if p > out.assignedP[r] {
+				out.tp += p - out.assignedP[r]
+				out.fp -= p - out.assignedP[r]
+				out.assignedP[r] = p
+				out.assignedL[r] = fn.bestL[r]
+				out.assignedD[r] = fn.bestD[r]
+				out.assignedCfg[r] = cfgIdx
+			}
+		}
+	}
+}
+
+func estPrecision(tp, fp float64) float64 {
+	if tp+fp == 0 {
+		return 0
+	}
+	return tp / (tp + fp)
+}
+
+func countAssigned(assigned []int32) int {
+	n := 0
+	for _, a := range assigned {
+		if a >= 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// run executes prepare + greedy and packages the result.
+func run(in *engineInput, opt Options) *Result {
+	t0 := time.Now()
+	fns := prepare(in, opt.Parallelism)
+	t1 := time.Now()
+	out := greedy(in, fns, opt)
+	t2 := time.Now()
+	res := &Result{
+		Timing:       Timing{Precompute: t1.Sub(t0), Greedy: t2.Sub(t1)},
+		Program:      out.program,
+		EstPrecision: estPrecision(out.tp, out.fp),
+		EstRecall:    out.tp,
+		Trace:        out.trace,
+	}
+	for r := 0; r < in.nR; r++ {
+		if out.assignedL[r] < 0 {
+			continue
+		}
+		res.Joins = append(res.Joins, Join{
+			Right:     r,
+			Left:      int(out.assignedL[r]),
+			Distance:  out.assignedD[r],
+			Precision: out.assignedP[r],
+			Config:    int(out.assignedCfg[r]),
+			Iteration: int(out.assignedIter[r]),
+		})
+	}
+	return res
+}

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/config"
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/textproc"
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/tokenize"
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/weights"
+)
+
+// figure4Input builds the paper's Figure 4 scenario directly against the
+// engine: a grid-like reference table where each record's closest
+// neighbours sit at a known Jaccard distance w, one query record r1 close
+// to l1 (safe join, clean 2d-ball), and one query record r2 whose true
+// counterpart is missing (unsafe join, crowded ball).
+func figure4Input(t *testing.T) (*engineInput, []string, []string) {
+	t.Helper()
+	// Reference records: "<year> <team> squad unit" with years 2001..2005
+	// and five teams; neighbours differ by exactly one of four tokens, so
+	// the local grid width under space-token Jaccard is w = 1 - 3/5 = 0.4.
+	var left []string
+	teams := []string{"alpha", "bravo", "carol", "delta", "echo"}
+	for _, team := range teams {
+		for year := 2001; year <= 2005; year++ {
+			left = append(left, fmt.Sprintf("%d %s squad unit", year, team))
+		}
+	}
+	right := []string{
+		// r1: one extra token from l = "2003 alpha squad unit":
+		// d = 1 - 4/5 = 0.2 < w/2 exactly at the safe boundary.
+		"2003 alpha squad unit x",
+		// r2: its true counterpart "2003 foxtrot squad unit" is missing;
+		// closest l differs by two tokens: d = 1 - 3/6 h.
+		"2003 foxtrot squad unit y z",
+	}
+	f := config.JoinFunction{Pre: textproc.Lower, Tok: tokenize.Space, Weight: weights.Equal, Dist: config.JD}
+	space := []config.JoinFunction{f}
+	corpus := config.NewCorpus(space, left, right)
+	profL := corpus.Profiles(left)
+	profR := corpus.Profiles(right)
+	lrCand := make([][]int32, len(right))
+	for r := range right {
+		ids := make([]int32, len(left))
+		for i := range left {
+			ids[i] = int32(i)
+		}
+		lrCand[r] = ids
+	}
+	llCand := make([][]int32, len(left))
+	for l := range left {
+		var ids []int32
+		for i := range left {
+			if i != l {
+				ids = append(ids, int32(i))
+			}
+		}
+		llCand[l] = ids
+	}
+	in := &engineInput{
+		space:  space,
+		steps:  40,
+		nL:     len(left),
+		nR:     len(right),
+		lrCand: lrCand,
+		llCand: llCand,
+		lrDist: func(fi, r, ci int) float64 {
+			return space[fi].Distance(profL[lrCand[r][ci]], profR[r])
+		},
+		llDist: func(fi, l, ci int) float64 {
+			return space[fi].Distance(profL[l], profL[llCand[l][ci]])
+		},
+	}
+	return in, left, right
+}
+
+func TestPrepareFnBallEstimates(t *testing.T) {
+	in, left, _ := figure4Input(t)
+	fns := prepare(in, 1)
+	if fns[0] == nil {
+		t.Fatal("function unexpectedly unjoinable")
+	}
+	fn := fns[0]
+	// r1's best is "2003 alpha squad unit" at Jaccard distance 0.2.
+	if got := left[fn.bestL[0]]; got != "2003 alpha squad unit" {
+		t.Fatalf("r1 best = %q", got)
+	}
+	if math.Abs(fn.bestD[0]-0.2) > 1e-9 {
+		t.Fatalf("r1 best distance = %f, want 0.2", fn.bestD[0])
+	}
+	// At the tightest threshold that joins r1 (θ≈0.2), the 2θ-ball of
+	// radius 0.4 must contain exactly the center: neighbours sit at
+	// distance 0.4 which equals the radius — they ARE included by <=, so
+	// the count is center + the 8 one-token neighbours at exactly 0.4.
+	k := int(fn.kMin[0])
+	radius := 2 * fn.thresholds[k]
+	wantBall := 1
+	for ci := range in.llCand[fn.bestL[0]] {
+		if in.llDist(0, int(fn.bestL[0]), ci) <= radius {
+			wantBall++
+		}
+	}
+	if got := int(fn.cnt[0][k]); got != wantBall {
+		t.Errorf("r1 ball count at kMin = %d, want %d (radius %f)", got, wantBall, radius)
+	}
+	// r2 joins farther out; its ball at its kMin must be strictly more
+	// crowded than r1's, making it the lower-precision join (Figure 4b).
+	k2 := int(fn.kMin[1])
+	if fn.cnt[1] == nil {
+		t.Fatal("r2 unexpectedly unjoinable")
+	}
+	if int(fn.cnt[1][k2]) <= int(fn.cnt[0][k]) {
+		t.Errorf("r2 ball (%d) not more crowded than r1's (%d)", fn.cnt[1][k2], fn.cnt[0][k])
+	}
+	// Precision estimates are the multiplicative inverse (Eq. 8).
+	p1 := 1 / float64(fn.cnt[0][k])
+	p2 := 1 / float64(fn.cnt[1][k2])
+	if !(p1 > p2) {
+		t.Errorf("precision estimates not ordered: %f vs %f", p1, p2)
+	}
+}
+
+func TestPrepareTotalsMatchRowSums(t *testing.T) {
+	in, _, _ := figure4Input(t)
+	fns := prepare(in, 1)
+	fn := fns[0]
+	for k := 0; k < in.steps; k++ {
+		var sum float64
+		cnt := 0
+		for r := 0; r < in.nR; r++ {
+			if fn.cnt[r] == nil || fn.kMin[r] > int32(k) {
+				continue
+			}
+			sum += 1 / float64(fn.cnt[r][k])
+			cnt++
+		}
+		if math.Abs(sum-fn.totalP[k]) > 1e-9 || cnt != fn.totalCnt[k] {
+			t.Fatalf("totals mismatch at k=%d: %f/%d vs %f/%d",
+				k, sum, cnt, fn.totalP[k], fn.totalCnt[k])
+		}
+	}
+}
+
+func TestThresholdGridCoversBestDistances(t *testing.T) {
+	in, _, _ := figure4Input(t)
+	fns := prepare(in, 1)
+	fn := fns[0]
+	for r := 0; r < in.nR; r++ {
+		if fn.cnt[r] == nil {
+			continue
+		}
+		k := fn.kMin[r]
+		if fn.thresholds[k] < fn.bestD[r] {
+			t.Errorf("r%d: threshold[kMin]=%f below bestD=%f", r, fn.thresholds[k], fn.bestD[r])
+		}
+		if k > 0 && fn.thresholds[k-1] >= fn.bestD[r] {
+			t.Errorf("r%d: kMin not minimal", r)
+		}
+	}
+}
+
+func TestBetterProfit(t *testing.T) {
+	cases := []struct {
+		tp1, fp1, tp2, fp2 float64
+		want               bool
+	}{
+		{10, 1, 5, 1, true},   // higher ratio wins
+		{5, 1, 10, 1, false},  // lower ratio loses
+		{4, 0, 3, 0, true},    // both infinite: larger TP wins
+		{3, 0, 4, 0, false},   // both infinite: smaller TP loses
+		{1, 0, 100, 1, true},  // infinite beats finite
+		{100, 1, 1, 0, false}, // finite loses to infinite
+		{2, 1, 4, 2, true},    // equal ratio: larger TP... 2*2=4 vs 4*1=4 tie -> tp1>tp2 false
+	}
+	for i, c := range cases {
+		got := betterProfit(c.tp1, c.fp1, c.tp2, c.fp2)
+		want := c.want
+		if i == len(cases)-1 {
+			want = false // documented tie case
+		}
+		if got != want {
+			t.Errorf("case %d: betterProfit(%v,%v,%v,%v) = %v, want %v",
+				i, c.tp1, c.fp1, c.tp2, c.fp2, got, want)
+		}
+	}
+}
+
+func TestGreedyStopsAtPrecisionTarget(t *testing.T) {
+	in, _, _ := figure4Input(t)
+	fns := prepare(in, 1)
+	// With a precision target above the best achievable estimate, the
+	// greedy must output an empty program.
+	out := greedy(in, fns, Options{PrecisionTarget: 0.999999, ThresholdSteps: in.steps})
+	if len(out.program) != 0 {
+		// Only acceptable if every joined row has estimate exactly 1.
+		for r := 0; r < in.nR; r++ {
+			if out.assignedL[r] >= 0 && out.assignedP[r] < 1 {
+				t.Fatalf("joined r%d with estimate %f above target", r, out.assignedP[r])
+			}
+		}
+	}
+}
+
+func TestBallRadiusFactorMonotone(t *testing.T) {
+	// A larger estimation ball can only lower (or keep) every precision
+	// estimate, so the joined set at a fixed target shrinks or holds.
+	in, _, _ := figure4Input(t)
+	in.ballFactor = 1.0
+	loose := prepare(in, 1)
+	in2, _, _ := figure4Input(t)
+	in2.ballFactor = 3.0
+	tight := prepare(in2, 1)
+	fl, ft := loose[0], tight[0]
+	for r := 0; r < in.nR; r++ {
+		if fl.cnt[r] == nil || ft.cnt[r] == nil {
+			continue
+		}
+		for k := int(fl.kMin[r]); k < in.steps; k++ {
+			if ft.cnt[r][k] < fl.cnt[r][k] {
+				t.Fatalf("r%d k%d: bigger ball has smaller count (%d < %d)",
+					r, k, ft.cnt[r][k], fl.cnt[r][k])
+			}
+		}
+	}
+}
+
+func TestExplain(t *testing.T) {
+	in, _, _ := figure4Input(t)
+	fns := prepare(in, 1)
+	// The grid scenario's best estimates are ~1/9 (neighbours sit exactly
+	// on the ball boundary), so use a low target to force joins.
+	out := greedy(in, fns, Options{PrecisionTarget: 0.05, ThresholdSteps: in.steps})
+	res := &Result{Program: out.program}
+	joined := false
+	for r := 0; r < in.nR; r++ {
+		if out.assignedL[r] < 0 {
+			continue
+		}
+		joined = true
+		j := Join{
+			Right: r, Left: int(out.assignedL[r]),
+			Distance: out.assignedD[r], Precision: out.assignedP[r],
+			Config: int(out.assignedCfg[r]), Iteration: int(out.assignedIter[r]),
+		}
+		s := res.Explain(j)
+		if s == "" || len(s) < 40 {
+			t.Errorf("Explain too terse: %q", s)
+		}
+	}
+	if !joined {
+		t.Fatal("nothing joined to explain")
+	}
+	if s := res.Explain(Join{Config: 99}); s == "" {
+		t.Error("Explain on bad config empty")
+	}
+}
+
+func TestMaxIterationsCap(t *testing.T) {
+	in, _, _ := figure4Input(t)
+	fns := prepare(in, 1)
+	out := greedy(in, fns, Options{PrecisionTarget: 0.1, ThresholdSteps: in.steps, MaxIterations: 1})
+	if len(out.program) > 1 {
+		t.Errorf("MaxIterations=1 produced %d configurations", len(out.program))
+	}
+}

@@ -1,0 +1,279 @@
+package core
+
+import (
+	"strings"
+
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/blocking"
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/config"
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/negrule"
+)
+
+// columnTensors holds, for one column, the per-function distances of every
+// blocked pair, flattened with shared offsets. Weighted multi-column
+// distances are then linear combinations of these tensors.
+type columnTensors struct {
+	lr [][]float32 // [fi][flat pair]
+	ll [][]float32
+}
+
+// JoinMultiColumnTables runs multi-column Auto-FuzzyJoin (Algorithm 3).
+// leftCols[j] and rightCols[j] are the j-th column of each table; all
+// columns of a table must share the same length. The search forward-selects
+// columns, assigns weights from a g-step grid, and reuses the single-column
+// engine on the weighted distances (with a single distance function shared
+// across columns, as in §5.2.2). Missing cells are empty strings and two
+// missing cells compare at maximal distance.
+func JoinMultiColumnTables(leftCols, rightCols [][]string, opt Options) (*Result, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	opt = opt.withDefaults()
+	m := len(leftCols)
+	if m == 0 || len(rightCols) != m {
+		return nil, errColumnShape
+	}
+	nL, nR := len(leftCols[0]), len(rightCols[0])
+	for j := 0; j < m; j++ {
+		if len(leftCols[j]) != nL || len(rightCols[j]) != nR {
+			return nil, errColumnShape
+		}
+	}
+	if nL == 0 || nR == 0 {
+		return &Result{}, nil
+	}
+
+	// Blocking and negative rules operate on the concatenated record so
+	// they need no configuration, exactly like the single-column default.
+	leftCat := concatColumns(leftCols)
+	rightCat := concatColumns(rightCols)
+	blk := blocking.Block(leftCat, rightCat, opt.BlockingBeta)
+
+	var rules *negrule.Set
+	llCand := make([][]int32, nL)
+	for i, cands := range blk.LL {
+		ids := make([]int32, len(cands))
+		for ci, c := range cands {
+			ids[ci] = c.ID
+		}
+		llCand[i] = ids
+	}
+	if !opt.DisableNegativeRules {
+		rules = negrule.NewSet()
+		for i, cands := range blk.LL {
+			for _, c := range cands {
+				rules.LearnPair(leftCat[i], leftCat[c.ID])
+			}
+		}
+	}
+	lrCand := make([][]int32, nR)
+	for j, cands := range blk.LR {
+		ids := make([]int32, 0, len(cands))
+		for _, c := range cands {
+			if rules != nil && rules.Blocks(leftCat[c.ID], rightCat[j]) {
+				continue
+			}
+			ids = append(ids, c.ID)
+		}
+		lrCand[j] = ids
+	}
+
+	// Flattened pair offsets shared by all columns and functions.
+	lrOff := offsets(lrCand)
+	llOff := offsets(llCand)
+
+	// Per-column tensors: distance of every blocked pair under every
+	// function, computed once and reused across the weight search.
+	tensors := make([]*columnTensors, m)
+	for j := 0; j < m; j++ {
+		tensors[j] = buildColumnTensors(opt.Space, leftCols[j], rightCols[j], lrCand, llCand, lrOff, llOff)
+	}
+
+	// weighted runs Algorithm 1 on the weighted combination of columns.
+	weighted := func(w []float64) *Result {
+		active := make([]int, 0, m)
+		for j, wj := range w {
+			if wj > 0 {
+				active = append(active, j)
+			}
+		}
+		in := &engineInput{
+			space:      opt.Space,
+			steps:      opt.ThresholdSteps,
+			ballFactor: opt.BallRadiusFactor,
+			nL:         nL,
+			nR:         nR,
+			lrCand:     lrCand,
+			llCand:     llCand,
+			lrDist: func(fi, r, ci int) float64 {
+				idx := int(lrOff[r]) + ci
+				var d float64
+				for _, j := range active {
+					d += w[j] * float64(tensors[j].lr[fi][idx])
+				}
+				return d
+			},
+			llDist: func(fi, l, ci int) float64 {
+				idx := int(llOff[l]) + ci
+				var d float64
+				for _, j := range active {
+					d += w[j] * float64(tensors[j].ll[fi][idx])
+				}
+				return d
+			},
+		}
+		return run(in, opt)
+	}
+
+	// Algorithm 3: forward selection over columns with weight inheritance.
+	g := opt.WeightSteps
+	w := make([]float64, m)
+	remaining := make([]bool, m)
+	for j := range remaining {
+		remaining[j] = true
+	}
+	var best *Result
+	for {
+		var iterBest *Result
+		var iterW []float64
+		iterCol := -1
+		for j := 0; j < m; j++ {
+			if !remaining[j] {
+				continue
+			}
+			for a := 1; a < g; a++ {
+				alpha := float64(a) / float64(g)
+				wTry := make([]float64, m)
+				for x := range w {
+					wTry[x] = (1 - alpha) * w[x]
+				}
+				wTry[j] += alpha
+				res := weighted(wTry)
+				if iterBest == nil || res.EstRecall > iterBest.EstRecall {
+					iterBest = res
+					iterW = wTry
+					iterCol = j
+				}
+			}
+		}
+		if iterBest == nil {
+			break
+		}
+		if best != nil && iterBest.EstRecall <= best.EstRecall {
+			break // adding a column no longer improves estimated recall
+		}
+		best = iterBest
+		w = iterW
+		// Distances are scale-invariant in w (thresholds adapt), but the
+		// next iteration's (1-α)w + αe mixing grid assumes w sums to 1, so
+		// normalize between iterations and for reporting.
+		var sum float64
+		for _, wj := range w {
+			sum += wj
+		}
+		if sum > 0 {
+			for j := range w {
+				w[j] /= sum
+			}
+		}
+		remaining[iterCol] = false
+		allUsed := true
+		for _, rem := range remaining {
+			if rem {
+				allUsed = false
+				break
+			}
+		}
+		if allUsed {
+			break
+		}
+	}
+	if best == nil {
+		best = &Result{}
+	} else {
+		// The selected run used a pre-normalization weight vector; re-run
+		// once with the final normalized weights so the reported
+		// thresholds live on the same distance scale as the reported
+		// weights (required for Program.ApplyMultiColumn). The joins are
+		// identical up to this uniform rescaling.
+		best = weighted(w)
+	}
+	best.NegativeRules = rules
+	for j, wj := range w {
+		if wj > 0 {
+			best.Columns = append(best.Columns, j)
+			best.Weights = append(best.Weights, wj)
+		}
+	}
+	return best, nil
+}
+
+// buildColumnTensors evaluates every join function on every blocked pair of
+// one column. Two empty cells compare at maximal distance (missing-value
+// convention of §5.2.2).
+func buildColumnTensors(space []config.JoinFunction, lcol, rcol []string, lrCand, llCand [][]int32, lrOff, llOff []int32) *columnTensors {
+	corpus := config.NewCorpus(space, lcol, rcol)
+	profL := corpus.Profiles(lcol)
+	profR := corpus.Profiles(rcol)
+	nLR := int(lrOff[len(lrOff)-1])
+	nLL := int(llOff[len(llOff)-1])
+	t := &columnTensors{
+		lr: make([][]float32, len(space)),
+		ll: make([][]float32, len(space)),
+	}
+	for fi, f := range space {
+		lr := make([]float32, nLR)
+		for r := range lrCand {
+			base := int(lrOff[r])
+			for ci, l := range lrCand[r] {
+				if lcol[l] == "" && rcol[r] == "" {
+					lr[base+ci] = 1
+					continue
+				}
+				lr[base+ci] = float32(f.Distance(profL[l], profR[r]))
+			}
+		}
+		ll := make([]float32, nLL)
+		for l := range llCand {
+			base := int(llOff[l])
+			for ci, l2 := range llCand[l] {
+				if lcol[l] == "" && lcol[l2] == "" {
+					ll[base+ci] = 1
+					continue
+				}
+				ll[base+ci] = float32(f.Distance(profL[l], profL[l2]))
+			}
+		}
+		t.lr[fi] = lr
+		t.ll[fi] = ll
+	}
+	return t
+}
+
+// offsets builds flat offsets for ragged candidate lists; the final entry
+// is the total pair count.
+func offsets(cands [][]int32) []int32 {
+	off := make([]int32, len(cands)+1)
+	for i, c := range cands {
+		off[i+1] = off[i] + int32(len(c))
+	}
+	return off
+}
+
+// concatColumns joins each record's cells with a separator for blocking
+// and negative-rule learning.
+func concatColumns(cols [][]string) []string {
+	n := len(cols[0])
+	out := make([]string, n)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.Reset()
+		for j := range cols {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(cols[j][i])
+		}
+		out[i] = strings.Join(strings.Fields(b.String()), " ")
+	}
+	return out
+}

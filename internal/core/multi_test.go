@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/config"
+)
+
+// makeMovieTables builds a small multi-column task: titles are informative,
+// directors moderately informative, and the noise column is useless.
+func makeMovieTables(withNoise bool) (leftCols, rightCols [][]string, truth []int) {
+	rng := rand.New(rand.NewSource(21))
+	adjectives := []string{"silent", "golden", "broken", "hidden", "crimson",
+		"electric", "velvet", "burning", "frozen", "lunar"}
+	nouns := []string{"river", "empire", "garden", "horizon", "castle",
+		"shadow", "harbor", "meadow", "signal", "lantern"}
+	directors := []string{"ava chen", "marco diaz", "lena fischer", "omar hassan",
+		"nina petrova", "raj kapoor"}
+	var titles, dirs []string
+	for _, a := range adjectives {
+		for _, n := range nouns {
+			titles = append(titles, fmt.Sprintf("the %s %s", a, n))
+			dirs = append(dirs, directors[rng.Intn(len(directors))])
+		}
+	}
+	noise := func(n int) []string {
+		out := make([]string, n)
+		for i := range out {
+			b := make([]byte, 10+rng.Intn(20))
+			for j := range b {
+				b[j] = byte('a' + rng.Intn(26))
+			}
+			out[i] = string(b)
+		}
+		return out
+	}
+	var rTitles, rDirs []string
+	for i := 0; i < len(titles); i += 2 {
+		title := titles[i]
+		if rng.Intn(2) == 0 {
+			title = strings.Replace(title, "the ", "", 1) // drop article
+		} else {
+			title += " remastered"
+		}
+		rTitles = append(rTitles, title)
+		rDirs = append(rDirs, dirs[i])
+		truth = append(truth, i)
+	}
+	leftCols = [][]string{titles, dirs}
+	rightCols = [][]string{rTitles, rDirs}
+	if withNoise {
+		leftCols = append(leftCols, noise(len(titles)))
+		rightCols = append(rightCols, noise(len(rTitles)))
+	}
+	return leftCols, rightCols, truth
+}
+
+func multiOptions() Options {
+	return Options{
+		Space:          config.ReducedSpace(),
+		ThresholdSteps: 15,
+		WeightSteps:    5,
+	}
+}
+
+func TestMultiColumnJoinQuality(t *testing.T) {
+	leftCols, rightCols, truth := makeMovieTables(false)
+	res, err := JoinMultiColumnTables(leftCols, rightCols, multiOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Joins) == 0 {
+		t.Fatal("no joins produced")
+	}
+	correct := 0
+	for _, j := range res.Joins {
+		if truth[j.Right] == j.Left {
+			correct++
+		}
+	}
+	prec := float64(correct) / float64(len(res.Joins))
+	recall := float64(correct) / float64(len(truth))
+	if prec < 0.75 {
+		t.Errorf("multi-column precision %.3f below 0.75", prec)
+	}
+	if recall < 0.4 {
+		t.Errorf("multi-column recall %.3f below 0.4", recall)
+	}
+	if len(res.Columns) == 0 || len(res.Columns) != len(res.Weights) {
+		t.Fatalf("column selection malformed: cols=%v weights=%v", res.Columns, res.Weights)
+	}
+}
+
+func TestMultiColumnIgnoresRandomColumn(t *testing.T) {
+	leftCols, rightCols, _ := makeMovieTables(true)
+	res, err := JoinMultiColumnTables(leftCols, rightCols, multiOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Columns {
+		if c == 2 {
+			t.Errorf("random-noise column was selected with weight %v", res.Weights)
+		}
+	}
+}
+
+func TestMultiColumnSelectsTitleFirst(t *testing.T) {
+	leftCols, rightCols, _ := makeMovieTables(false)
+	res, err := JoinMultiColumnTables(leftCols, rightCols, multiOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Title (column 0) must be selected and carry the largest weight.
+	bestCol, bestW := -1, 0.0
+	for i, c := range res.Columns {
+		if res.Weights[i] > bestW {
+			bestW = res.Weights[i]
+			bestCol = c
+		}
+	}
+	if bestCol != 0 {
+		t.Errorf("dominant column = %d (weights %v), want title column 0", bestCol, res.Weights)
+	}
+}
+
+func TestMultiColumnWeightsSumToOne(t *testing.T) {
+	leftCols, rightCols, _ := makeMovieTables(false)
+	res, err := JoinMultiColumnTables(leftCols, rightCols, multiOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, w := range res.Weights {
+		if w <= 0 || w > 1 {
+			t.Errorf("weight %f out of (0,1]", w)
+		}
+		sum += w
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("weights sum to %f, want 1", sum)
+	}
+}
+
+func TestMultiColumnDegeneratesToSingleColumn(t *testing.T) {
+	// With exactly one column, Algorithm 3 must reduce to Algorithm 1:
+	// the weight search is scale-invariant, so the join mapping matches
+	// the single-column path exactly.
+	L := makeReference()
+	rng := rand.New(rand.NewSource(41))
+	var R []string
+	for i := 0; i < len(L); i += 5 {
+		R = append(R, perturb(rng, L[i]))
+	}
+	opt := testOptions()
+	single, err := JoinTables(L, R, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.WeightSteps = 4
+	multi, err := JoinMultiColumnTables([][]string{L}, [][]string{R}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm, mm := single.Mapping(), multi.Mapping()
+	if len(sm) != len(mm) {
+		t.Fatalf("join counts differ: single %d vs multi %d", len(sm), len(mm))
+	}
+	for r, l := range sm {
+		if mm[r] != l {
+			t.Fatalf("mapping differs at right %d: %d vs %d", r, l, mm[r])
+		}
+	}
+	if len(multi.Columns) != 1 || multi.Columns[0] != 0 {
+		t.Errorf("column selection = %v, want [0]", multi.Columns)
+	}
+}
+
+func TestMultiColumnShapeErrors(t *testing.T) {
+	_, err := JoinMultiColumnTables([][]string{{"a"}}, [][]string{{"a"}, {"b"}}, Options{})
+	if err == nil {
+		t.Error("mismatched column counts should error")
+	}
+	_, err = JoinMultiColumnTables([][]string{{"a"}, {"b", "c"}}, [][]string{{"a"}, {"b"}}, Options{})
+	if err == nil {
+		t.Error("ragged columns should error")
+	}
+}
+
+func TestMultiColumnMissingValues(t *testing.T) {
+	left := [][]string{{"alpha beta", "gamma delta"}, {"", ""}}
+	right := [][]string{{"alpha beta", ""}, {"", ""}}
+	res, err := JoinMultiColumnTables(left, right, multiOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The all-empty right record must not join anything.
+	for _, j := range res.Joins {
+		if j.Right == 1 {
+			t.Errorf("empty record joined to %d", j.Left)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+// Package core implements the Auto-FuzzyJoin algorithms: unsupervised
+// precision estimation via reference-table 2d-balls (§3.1, Eq. 8–13), the
+// greedy union-of-configurations search (Algorithm 1), negative-rule
+// integration (Algorithm 2), and the multi-column forward-selection search
+// (Algorithm 3).
+package core
+
+import (
+	"errors"
+
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/config"
+)
+
+// Default parameter values from the paper's experimental setup (§5.1.3).
+const (
+	DefaultPrecisionTarget = 0.9
+	DefaultThresholdSteps  = 50
+	DefaultBlockingBeta    = 1.0
+	DefaultWeightSteps     = 10
+)
+
+// Options configures a join run. The zero value is replaced by the paper's
+// defaults; see the constants above.
+type Options struct {
+	// PrecisionTarget is τ: the greedy search adds configurations while the
+	// estimated precision of the union stays above this value.
+	PrecisionTarget float64
+	// Space is the set of join functions to search; defaults to the full
+	// 140-function space of Table 1.
+	Space []config.JoinFunction
+	// ThresholdSteps is s, the number of discretization steps for each
+	// function's distance-threshold grid.
+	ThresholdSteps int
+	// BlockingBeta is β: each record keeps its top β·√|L| blocked
+	// candidates.
+	BlockingBeta float64
+	// DisableNegativeRules turns off Algorithm 2 (the AutoFJ-NR ablation).
+	DisableNegativeRules bool
+	// SingleConfiguration restricts the output to the one best
+	// configuration instead of a union (the AutoFJ-UC ablation).
+	SingleConfiguration bool
+	// MaxIterations caps greedy iterations; 0 means unlimited.
+	MaxIterations int
+	// WeightSteps is g, the discretization of column weights in the
+	// multi-column search (Algorithm 3).
+	WeightSteps int
+	// Parallelism bounds the worker goroutines of the per-function
+	// pre-computation; 0 uses GOMAXPROCS, 1 forces sequential execution.
+	Parallelism int
+	// BallRadiusFactor scales the precision-estimation ball: a join at
+	// distance d is judged by the reference records within
+	// BallRadiusFactor·θ of its target (Eq. 8 uses 2, the triangle-
+	// inequality-safe choice; the ablation benches sweep it).
+	BallRadiusFactor float64
+}
+
+// withDefaults fills unset fields with the paper's defaults.
+func (o Options) withDefaults() Options {
+	if o.PrecisionTarget <= 0 {
+		o.PrecisionTarget = DefaultPrecisionTarget
+	}
+	if len(o.Space) == 0 {
+		o.Space = config.Space()
+	}
+	if o.ThresholdSteps <= 0 {
+		o.ThresholdSteps = DefaultThresholdSteps
+	}
+	if o.BlockingBeta <= 0 {
+		o.BlockingBeta = DefaultBlockingBeta
+	}
+	if o.WeightSteps <= 1 {
+		o.WeightSteps = DefaultWeightSteps
+	}
+	if o.BallRadiusFactor <= 0 {
+		o.BallRadiusFactor = 2.0
+	}
+	return o
+}
+
+// Validate reports option errors that withDefaults cannot repair.
+func (o Options) Validate() error {
+	if o.PrecisionTarget > 1 {
+		return errors.New("core: precision target must be in (0, 1]")
+	}
+	if o.ThresholdSteps < 0 || o.WeightSteps < 0 || o.MaxIterations < 0 || o.Parallelism < 0 {
+		return errors.New("core: negative step, iteration, or parallelism values are invalid")
+	}
+	return nil
+}

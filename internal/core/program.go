@@ -1,0 +1,301 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/blocking"
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/config"
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/negrule"
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/textproc"
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/tokenize"
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/weights"
+)
+
+// Program is the serializable form of a learned fuzzy-join program: the
+// union of configurations plus the learned negative rules. A Program can
+// be saved once and re-applied to fresh right tables — the deployment mode
+// the paper's "Explainable" property enables.
+type Program struct {
+	// Version guards the wire format.
+	Version int `json:"version"`
+	// Configurations is the disjunction of ⟨f, θ⟩ predicates.
+	Configurations []ConfigurationSpec `json:"configurations"`
+	// NegativeRules lists word pairs that veto joins (Algorithm 2).
+	NegativeRules [][2]string `json:"negative_rules,omitempty"`
+	// BlockingBeta is the blocking factor to use when applying.
+	BlockingBeta float64 `json:"blocking_beta,omitempty"`
+	// Columns and Weights carry the multi-column selection (empty for
+	// single-column programs): Columns[i] is a column index into the
+	// original tables and Weights[i] its weight in the combined distance.
+	Columns []int     `json:"columns,omitempty"`
+	Weights []float64 `json:"weights,omitempty"`
+}
+
+// ConfigurationSpec is the JSON form of one configuration.
+type ConfigurationSpec struct {
+	Preprocess   string  `json:"preprocess"`
+	Tokenization string  `json:"tokenization,omitempty"`
+	TokenWeights string  `json:"token_weights,omitempty"`
+	Distance     string  `json:"distance"`
+	Threshold    float64 `json:"threshold"`
+}
+
+// Program extracts the serializable program from a join result.
+func (r *Result) ToProgram() *Program {
+	p := &Program{Version: 1}
+	for _, c := range r.Program {
+		spec := ConfigurationSpec{
+			Preprocess: c.Function.Pre.String(),
+			Distance:   c.Function.Dist.String(),
+			Threshold:  c.Threshold,
+		}
+		if c.Function.Dist.Class() == config.SetBased {
+			spec.Tokenization = c.Function.Tok.String()
+			spec.TokenWeights = c.Function.Weight.String()
+		}
+		p.Configurations = append(p.Configurations, spec)
+	}
+	if r.NegativeRules != nil {
+		for _, rule := range r.NegativeRules.Rules() {
+			p.NegativeRules = append(p.NegativeRules, [2]string{rule.A, rule.B})
+		}
+	}
+	p.Columns = append(p.Columns, r.Columns...)
+	p.Weights = append(p.Weights, r.Weights...)
+	return p
+}
+
+// MarshalJSON-friendly helpers.
+
+// Encode renders the program as JSON.
+func (p *Program) Encode() ([]byte, error) {
+	return json.MarshalIndent(p, "", "  ")
+}
+
+// DecodeProgram parses a JSON program.
+func DecodeProgram(data []byte) (*Program, error) {
+	var p Program
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("core: decoding program: %w", err)
+	}
+	if p.Version != 1 {
+		return nil, fmt.Errorf("core: unsupported program version %d", p.Version)
+	}
+	if _, err := p.configurations(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// configurations resolves the spec strings back to join functions.
+func (p *Program) configurations() ([]Configuration, error) {
+	out := make([]Configuration, 0, len(p.Configurations))
+	for i, spec := range p.Configurations {
+		f := config.JoinFunction{}
+		pre, err := parsePre(spec.Preprocess)
+		if err != nil {
+			return nil, fmt.Errorf("core: configuration %d: %w", i, err)
+		}
+		f.Pre = pre
+		dist, err := parseDistance(spec.Distance)
+		if err != nil {
+			return nil, fmt.Errorf("core: configuration %d: %w", i, err)
+		}
+		f.Dist = dist
+		if dist.Class() == config.SetBased {
+			tok, err := parseTok(spec.Tokenization)
+			if err != nil {
+				return nil, fmt.Errorf("core: configuration %d: %w", i, err)
+			}
+			f.Tok = tok
+			w, err := parseWeights(spec.TokenWeights)
+			if err != nil {
+				return nil, fmt.Errorf("core: configuration %d: %w", i, err)
+			}
+			f.Weight = w
+		}
+		if spec.Threshold < 0 || spec.Threshold > 1 {
+			return nil, fmt.Errorf("core: configuration %d: threshold %f out of [0,1]", i, spec.Threshold)
+		}
+		out = append(out, Configuration{Function: f, Threshold: spec.Threshold})
+	}
+	return out, nil
+}
+
+func parsePre(s string) (textproc.Option, error) {
+	for _, o := range textproc.Options() {
+		if o.String() == s {
+			return o, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown pre-processing %q", s)
+}
+
+func parseTok(s string) (tokenize.Option, error) {
+	for _, o := range tokenize.Options() {
+		if o.String() == s {
+			return o, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown tokenization %q", s)
+}
+
+func parseWeights(s string) (weights.Scheme, error) {
+	for _, o := range weights.Options() {
+		if o.String() == s {
+			return o, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown token weights %q", s)
+}
+
+func parseDistance(s string) (config.Distance, error) {
+	for _, d := range []config.Distance{
+		config.ED, config.JW, config.JD, config.CD, config.DD, config.MD,
+		config.ID, config.CJD, config.CCD, config.CDD, config.GED,
+		config.ME, config.SW,
+	} {
+		if d.String() == s {
+			return d, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown distance %q", s)
+}
+
+// Apply runs a saved single-column program against a fresh (left, right)
+// pair: each configuration joins every right record to its closest blocked
+// candidate within the threshold (Eq. 1), the union resolves conflicts
+// toward the smallest threshold-normalized distance, and negative rules
+// veto pairs. No re-learning happens — this is the deployment path.
+// For programs learned by the multi-column search use ApplyMultiColumn.
+func (p *Program) Apply(left, right []string) ([]Join, error) {
+	return p.apply(left, right, func(f config.JoinFunction, corpora []*applyCorpus, l int32, r int) float64 {
+		c := corpora[0]
+		return f.Distance(c.profL[l], c.profR[r])
+	}, [][]string{left}, [][]string{right})
+}
+
+// ApplyMultiColumn re-applies a program learned by the multi-column search:
+// the stored column selection and weights reconstruct the combined distance
+// Fw(l, r) = Σ w_j f(l[j], r[j]) of Definition 4.1. Columns of the fresh
+// tables are addressed by the stored column indexes.
+func (p *Program) ApplyMultiColumn(leftCols, rightCols [][]string) ([]Join, error) {
+	if len(p.Columns) == 0 || len(p.Columns) != len(p.Weights) {
+		return nil, errors.New("core: program has no multi-column weights; use Apply")
+	}
+	for _, c := range p.Columns {
+		if c < 0 || c >= len(leftCols) || c >= len(rightCols) {
+			return nil, fmt.Errorf("core: program column %d out of range", c)
+		}
+	}
+	leftCat := concatColumns(leftCols)
+	rightCat := concatColumns(rightCols)
+	return p.apply(leftCat, rightCat, func(f config.JoinFunction, corpora []*applyCorpus, l int32, r int) float64 {
+		var d float64
+		for i, cj := range p.Columns {
+			c := corpora[i]
+			if leftCols[cj][l] == "" && rightCols[cj][r] == "" {
+				d += p.Weights[i]
+				continue
+			}
+			d += p.Weights[i] * f.Distance(c.profL[l], c.profR[r])
+		}
+		return d
+	}, selectColumns(leftCols, p.Columns), selectColumns(rightCols, p.Columns))
+}
+
+// applyCorpus bundles the profile sets of one column.
+type applyCorpus struct {
+	profL, profR []*config.Profile
+}
+
+// apply is the shared deployment loop: blocking, negative-rule vetoes, and
+// the union-of-configurations scan with a caller-provided distance.
+func (p *Program) apply(leftKey, rightKey []string,
+	dist func(f config.JoinFunction, corpora []*applyCorpus, l int32, r int) float64,
+	leftCols, rightCols [][]string) ([]Join, error) {
+	configs, err := p.configurations()
+	if err != nil {
+		return nil, err
+	}
+	if len(leftKey) == 0 || len(rightKey) == 0 || len(configs) == 0 {
+		return nil, nil
+	}
+	beta := p.BlockingBeta
+	if beta <= 0 {
+		beta = DefaultBlockingBeta
+	}
+	ix := blocking.NewIndex(leftKey)
+	k := blocking.K(len(leftKey), beta)
+
+	rules := negrule.NewSet()
+	for _, pair := range p.NegativeRules {
+		rules.Add(pair[0], pair[1])
+	}
+
+	space := make([]config.JoinFunction, len(configs))
+	for i, c := range configs {
+		space[i] = c.Function
+	}
+	corpora := make([]*applyCorpus, len(leftCols))
+	for j := range leftCols {
+		corpus := config.NewCorpus(space, leftCols[j], rightCols[j])
+		corpora[j] = &applyCorpus{
+			profL: corpus.Profiles(leftCols[j]),
+			profR: corpus.Profiles(rightCols[j]),
+		}
+	}
+
+	var out []Join
+	for r := range rightKey {
+		cands := ix.TopK(rightKey[r], k, -1)
+		bestCfg, bestL := -1, int32(-1)
+		bestScore := 2.0 // threshold-normalized distance; lower is better
+		bestDist := 0.0
+		for ci, cfg := range configs {
+			cl, cd := int32(-1), 2.0
+			for _, cand := range cands {
+				if rules.Blocks(leftKey[cand.ID], rightKey[r]) {
+					continue
+				}
+				if d := dist(cfg.Function, corpora, cand.ID, r); d < cd {
+					cd = d
+					cl = cand.ID
+				}
+			}
+			if cl < 0 || cd > cfg.Threshold {
+				continue
+			}
+			score := 0.0
+			if cfg.Threshold > 0 {
+				score = cd / cfg.Threshold
+			}
+			if score < bestScore {
+				bestScore = score
+				bestCfg = ci
+				bestL = cl
+				bestDist = cd
+			}
+		}
+		if bestCfg >= 0 {
+			out = append(out, Join{
+				Right:    r,
+				Left:     int(bestL),
+				Distance: bestDist,
+				Config:   bestCfg,
+			})
+		}
+	}
+	return out, nil
+}
+
+// selectColumns picks the listed columns (in order) from a column set.
+func selectColumns(cols [][]string, idx []int) [][]string {
+	out := make([][]string, len(idx))
+	for i, c := range idx {
+		out[i] = cols[c]
+	}
+	return out
+}

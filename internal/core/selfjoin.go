@@ -1,0 +1,116 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/blocking"
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/config"
+)
+
+// SelfJoin finds fuzzy duplicates within a single table: the table plays
+// both the reference and the query role, with identity pairs excluded.
+// This is the unsupervised deduplication extension the paper's footnote 7
+// anticipates: when the "reference" side itself contains duplicates the
+// precision estimates become conservative (a record's duplicates inflate
+// its 2θ-ball), so the output errs toward high precision.
+func SelfJoin(records []string, opt Options) (*Result, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	opt = opt.withDefaults()
+	if len(records) < 2 {
+		return &Result{}, nil
+	}
+
+	tBlock := time.Now()
+	ix := blocking.NewIndex(records)
+	k := blocking.K(len(records), opt.BlockingBeta)
+	cand := make([][]int32, len(records))
+	for i := range records {
+		cs := ix.TopKSelf(i, k)
+		ids := make([]int32, len(cs))
+		for ci, c := range cs {
+			ids[ci] = c.ID
+		}
+		cand[i] = ids
+	}
+	// Negative rules are intentionally NOT learned here: Algorithm 2
+	// assumes the reference table is duplicate-free, but a self-join's
+	// whole premise is that the table contains duplicates — a duplicate
+	// pair differing by one word ("northern" vs a "nothern" typo) would be
+	// learned as a negative rule and veto exactly the join we want.
+	lrCand := cand
+	blockingTime := time.Since(tBlock)
+
+	corpus := config.NewCorpus(opt.Space, records)
+	prof := corpus.Profiles(records)
+	in := &engineInput{
+		space:      opt.Space,
+		steps:      opt.ThresholdSteps,
+		ballFactor: opt.BallRadiusFactor,
+		nL:         len(records),
+		nR:         len(records),
+		lrCand:     lrCand,
+		llCand:     cand,
+		lrDist: func(fi, r, ci int) float64 {
+			return opt.Space[fi].Distance(prof[lrCand[r][ci]], prof[r])
+		},
+		llDist: func(fi, l, ci int) float64 {
+			return opt.Space[fi].Distance(prof[l], prof[cand[l][ci]])
+		},
+		selfJoin: true,
+	}
+	res := run(in, opt)
+	res.Timing.Blocking = blockingTime
+	return res, nil
+}
+
+// Dedup clusters a table's fuzzy duplicates: it runs SelfJoin and merges
+// the joined pairs with union-find, returning clusters of size >= 2 (each
+// a sorted slice of record indexes), ordered by their smallest member.
+func Dedup(records []string, opt Options) ([][]int, error) {
+	res, err := SelfJoin(records, opt)
+	if err != nil {
+		return nil, err
+	}
+	parent := make([]int, len(records))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			if rb < ra {
+				ra, rb = rb, ra
+			}
+			parent[rb] = ra
+		}
+	}
+	for _, j := range res.Joins {
+		union(j.Right, j.Left)
+	}
+	groups := map[int][]int{}
+	for i := range records {
+		r := find(i)
+		groups[r] = append(groups[r], i)
+	}
+	var clusters [][]int
+	for _, members := range groups {
+		if len(members) < 2 {
+			continue
+		}
+		sort.Ints(members)
+		clusters = append(clusters, members)
+	}
+	sort.Slice(clusters, func(a, b int) bool { return clusters[a][0] < clusters[b][0] })
+	return clusters, nil
+}

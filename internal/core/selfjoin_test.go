@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// dedupTable builds a table with known duplicate clusters: 36 distinct
+// organizations, every third of which has a near-duplicate variant. The
+// table is large enough for the 2θ-ball estimates to separate duplicates
+// from merely same-shaped names.
+func dedupTable() (records []string, wantClusters map[int][]int) {
+	adjs := []string{"international", "national", "european", "federal",
+		"royal", "pacific", "northern", "central", "imperial", "atlantic",
+		"eastern", "global"}
+	kinds := []string{"society", "bureau", "organization"}
+	topics := []string{"computational biology", "economic research",
+		"nuclear research", "meteorology", "dramatic art", "marine science",
+		"historical archives", "statistical analysis", "civil engineering",
+		"public health", "urban planning", "polar exploration"}
+	wantClusters = map[int][]int{}
+	n := 0
+	for i := 0; i < 36; i++ {
+		name := adjs[i%len(adjs)] + " " + kinds[(i/12)%len(kinds)] + " of " + topics[(i*7)%len(topics)]
+		records = append(records, name)
+		if i%3 == 0 {
+			records = append(records, name+" (duplicate)")
+			wantClusters[len(records)-2] = []int{len(records) - 2, len(records) - 1}
+			n++
+		}
+	}
+	return records, wantClusters
+}
+
+func TestSelfJoinFindsDuplicates(t *testing.T) {
+	records, want := dedupTable()
+	res, err := SelfJoin(records, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Joins) == 0 {
+		t.Fatal("self-join found nothing")
+	}
+	correct := 0
+	for _, j := range res.Joins {
+		if j.Right == j.Left {
+			t.Fatal("identity pair leaked into self-join")
+		}
+		// A correct pair links the two members of a want cluster.
+		lo, hi := j.Left, j.Right
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if c, ok := want[lo]; ok && hi == c[1] {
+			correct++
+		}
+	}
+	if prec := float64(correct) / float64(len(res.Joins)); prec < 0.75 {
+		t.Errorf("self-join precision %.2f (%d/%d correct)", prec, correct, len(res.Joins))
+	}
+	if correct < len(want) {
+		t.Errorf("recovered %d of %d duplicate pairs (×2 directions)", correct, len(want))
+	}
+}
+
+func TestDedupClusters(t *testing.T) {
+	records, want := dedupTable()
+	clusters, err := Dedup(records, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[int][]int{}
+	pure := 0
+	for _, c := range clusters {
+		got[c[0]] = c
+		// A pure cluster is exactly one duplicate pair {i, i+1}.
+		if len(c) == 2 && c[1] == c[0]+1 {
+			pure++
+		}
+	}
+	found := 0
+	for head := range want {
+		if c, ok := got[head]; ok && len(c) == 2 && c[1] == head+1 {
+			found++
+		}
+	}
+	if found < len(want)*3/4 {
+		t.Errorf("recovered only %d of %d duplicate clusters: %v", found, len(want), clusters)
+	}
+	// The greedy spends a bounded false-positive budget (1-τ), so a small
+	// number of impure clusters is expected; most must be pure.
+	if len(clusters) > 0 && float64(pure)/float64(len(clusters)) < 0.7 {
+		t.Errorf("only %d of %d clusters are pure: %v", pure, len(clusters), clusters)
+	}
+}
+
+func TestDedupCleanTableFindsNothing(t *testing.T) {
+	var records []string
+	for i := 0; i < 40; i++ {
+		records = append(records, fmt.Sprintf("entity %c%c unique record %d",
+			'a'+i%26, 'a'+(i*7)%26, i*31))
+	}
+	clusters, err := Dedup(records, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clusters) > 2 {
+		t.Errorf("clean table produced %d clusters: %v", len(clusters), clusters)
+	}
+}
+
+func TestSelfJoinTinyInputs(t *testing.T) {
+	for _, recs := range [][]string{nil, {"one"}} {
+		res, err := SelfJoin(recs, Options{})
+		if err != nil || len(res.Joins) != 0 {
+			t.Errorf("SelfJoin(%v) = %v, %v", recs, res.Joins, err)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/blocking"
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/config"
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/negrule"
+)
+
+// JoinTables runs single-column Auto-FuzzyJoin (Algorithm 1) on the
+// reference table left and query table right, returning the selected
+// program and the induced many-to-one join.
+func JoinTables(left, right []string, opt Options) (*Result, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	opt = opt.withDefaults()
+	if len(left) == 0 || len(right) == 0 {
+		return &Result{}, nil
+	}
+
+	// Algorithm 1 line 1: blocking for L-L and L-R pairs.
+	tBlock := time.Now()
+	blk := blocking.Block(left, right, opt.BlockingBeta)
+
+	// Line 2: learn negative rules from L-L pairs, veto L-R candidates.
+	var rules *negrule.Set
+	lrCand := make([][]int32, len(right))
+	llCand := make([][]int32, len(left))
+	for i, cands := range blk.LL {
+		ids := make([]int32, len(cands))
+		for ci, c := range cands {
+			ids[ci] = c.ID
+		}
+		llCand[i] = ids
+	}
+	if !opt.DisableNegativeRules {
+		rules = negrule.NewSet()
+		for i, cands := range blk.LL {
+			for _, c := range cands {
+				rules.LearnPair(left[i], left[c.ID])
+			}
+		}
+	}
+	for j, cands := range blk.LR {
+		ids := make([]int32, 0, len(cands))
+		for _, c := range cands {
+			if rules != nil && rules.Blocks(left[c.ID], right[j]) {
+				continue
+			}
+			ids = append(ids, c.ID)
+		}
+		lrCand[j] = ids
+	}
+
+	blockingTime := time.Since(tBlock)
+
+	// Lines 3-4: distances and precision pre-computation, then the greedy
+	// union search — all inside run().
+	corpus := config.NewCorpus(opt.Space, left, right)
+	profL := corpus.Profiles(left)
+	profR := corpus.Profiles(right)
+
+	in := &engineInput{
+		space:      opt.Space,
+		steps:      opt.ThresholdSteps,
+		ballFactor: opt.BallRadiusFactor,
+		nL:         len(left),
+		nR:         len(right),
+		lrCand:     lrCand,
+		llCand:     llCand,
+		lrDist: func(fi, r, ci int) float64 {
+			return opt.Space[fi].Distance(profL[lrCand[r][ci]], profR[r])
+		},
+		llDist: func(fi, l, ci int) float64 {
+			return opt.Space[fi].Distance(profL[l], profL[llCand[l][ci]])
+		},
+	}
+	res := run(in, opt)
+	res.NegativeRules = rules
+	res.Timing.Blocking = blockingTime
+	return res, nil
+}
+
+// errColumnShape is returned when multi-column inputs are ragged.
+var errColumnShape = errors.New("core: all columns of a table must have the same length")

@@ -1,0 +1,169 @@
+// Package dataset defines the table and join-task model shared by the
+// benchmark generators, the AutoFJ core, the baselines, and the experiment
+// harness, plus CSV import/export for the CLI tools.
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/metrics"
+)
+
+// Table is a simple column-named string table.
+type Table struct {
+	Columns []string
+	Rows    [][]string
+}
+
+// NumRows returns the row count.
+func (t *Table) NumRows() int { return len(t.Rows) }
+
+// Column returns column j as a slice (length NumRows). It panics when j is
+// out of range, matching slice-index semantics.
+func (t *Table) Column(j int) []string {
+	out := make([]string, len(t.Rows))
+	for i, row := range t.Rows {
+		out[i] = row[j]
+	}
+	return out
+}
+
+// ColumnByName returns the named column, or false when absent.
+func (t *Table) ColumnByName(name string) ([]string, bool) {
+	for j, c := range t.Columns {
+		if c == name {
+			return t.Column(j), true
+		}
+	}
+	return nil, false
+}
+
+// AllColumns returns the table in column-major form.
+func (t *Table) AllColumns() [][]string {
+	out := make([][]string, len(t.Columns))
+	for j := range t.Columns {
+		out[j] = t.Column(j)
+	}
+	return out
+}
+
+// SingleColumn builds a one-column table.
+func SingleColumn(name string, values []string) Table {
+	rows := make([][]string, len(values))
+	for i, v := range values {
+		rows[i] = []string{v}
+	}
+	return Table{Columns: []string{name}, Rows: rows}
+}
+
+// Task is one fuzzy-join benchmark task: a reference table L, a query
+// table R, and the ground-truth many-to-one mapping from R rows to L rows.
+type Task struct {
+	Name  string
+	Left  Table
+	Right Table
+	Truth metrics.Truth
+}
+
+// LeftKey and RightKey return the single key column for single-column
+// tasks (the first column by convention).
+func (t *Task) LeftKey() []string  { return t.Left.Column(0) }
+func (t *Task) RightKey() []string { return t.Right.Column(0) }
+
+// WriteCSV writes the table with a header row.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	if err := cw.WriteAll(t.Rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a table with a header row.
+func ReadCSV(r io.Reader) (Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	all, err := cr.ReadAll()
+	if err != nil {
+		return Table{}, err
+	}
+	if len(all) == 0 {
+		return Table{}, fmt.Errorf("dataset: empty CSV")
+	}
+	t := Table{Columns: all[0]}
+	for _, row := range all[1:] {
+		for len(row) < len(t.Columns) {
+			row = append(row, "")
+		}
+		t.Rows = append(t.Rows, row[:len(t.Columns)])
+	}
+	return t, nil
+}
+
+// WriteTruthCSV writes the ground truth as right_row,left_row pairs.
+func WriteTruthCSV(w io.Writer, truth metrics.Truth) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"right_row", "left_row"}); err != nil {
+		return err
+	}
+	// Deterministic order for reproducible files.
+	for r := 0; ; r++ {
+		l, ok := truth[r]
+		if !ok {
+			if r > maxKey(truth) {
+				break
+			}
+			continue
+		}
+		if err := cw.Write([]string{strconv.Itoa(r), strconv.Itoa(l)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadTruthCSV parses the right_row,left_row format.
+func ReadTruthCSV(r io.Reader) (metrics.Truth, error) {
+	cr := csv.NewReader(r)
+	all, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	truth := metrics.Truth{}
+	for i, row := range all {
+		if i == 0 && len(row) >= 1 && row[0] == "right_row" {
+			continue
+		}
+		if len(row) < 2 {
+			return nil, fmt.Errorf("dataset: truth row %d has %d fields", i, len(row))
+		}
+		rr, err := strconv.Atoi(row[0])
+		if err != nil {
+			return nil, err
+		}
+		ll, err := strconv.Atoi(row[1])
+		if err != nil {
+			return nil, err
+		}
+		truth[rr] = ll
+	}
+	return truth, nil
+}
+
+func maxKey(truth metrics.Truth) int {
+	m := -1
+	for k := range truth {
+		if k > m {
+			m = k
+		}
+	}
+	return m
+}

@@ -1,0 +1,96 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/metrics"
+)
+
+func TestTableColumns(t *testing.T) {
+	tab := Table{
+		Columns: []string{"name", "year"},
+		Rows:    [][]string{{"a", "1"}, {"b", "2"}},
+	}
+	if got := tab.Column(1); got[0] != "1" || got[1] != "2" {
+		t.Errorf("Column(1) = %v", got)
+	}
+	col, ok := tab.ColumnByName("name")
+	if !ok || col[1] != "b" {
+		t.Errorf("ColumnByName = %v %v", col, ok)
+	}
+	if _, ok := tab.ColumnByName("missing"); ok {
+		t.Error("ColumnByName found a missing column")
+	}
+	all := tab.AllColumns()
+	if len(all) != 2 || all[0][0] != "a" {
+		t.Errorf("AllColumns = %v", all)
+	}
+}
+
+func TestSingleColumn(t *testing.T) {
+	tab := SingleColumn("name", []string{"x", "y"})
+	if tab.NumRows() != 2 || tab.Columns[0] != "name" || tab.Rows[1][0] != "y" {
+		t.Errorf("SingleColumn = %+v", tab)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tab := Table{
+		Columns: []string{"name", "note"},
+		Rows:    [][]string{{"a,b", "with \"quotes\""}, {"line", "two"}},
+	}
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rows) != 2 || got.Rows[0][0] != "a,b" || got.Rows[0][1] != "with \"quotes\"" {
+		t.Errorf("round trip = %+v", got)
+	}
+}
+
+func TestReadCSVShortRows(t *testing.T) {
+	got, err := ReadCSV(strings.NewReader("a,b\nx\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rows[0][1] != "" {
+		t.Errorf("short row not padded: %v", got.Rows)
+	}
+}
+
+func TestReadCSVEmpty(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Error("empty CSV should error")
+	}
+}
+
+func TestTruthRoundTrip(t *testing.T) {
+	truth := metrics.Truth{0: 5, 2: 7, 9: 1}
+	var buf bytes.Buffer
+	if err := WriteTruthCSV(&buf, truth); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTruthCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 5 || got[2] != 7 || got[9] != 1 {
+		t.Errorf("truth round trip = %v", got)
+	}
+}
+
+func TestTaskKeys(t *testing.T) {
+	task := Task{
+		Left:  SingleColumn("name", []string{"l1", "l2"}),
+		Right: SingleColumn("name", []string{"r1"}),
+	}
+	if task.LeftKey()[1] != "l2" || task.RightKey()[0] != "r1" {
+		t.Error("task keys wrong")
+	}
+}

@@ -1,0 +1,42 @@
+package distance
+
+import (
+	"math"
+	"testing"
+)
+
+// Fuzz targets: every distance must stay within [0,1], never NaN, and keep
+// its identity property, for arbitrary byte-soup inputs. Run with
+// `go test -fuzz=FuzzAllDistances ./internal/distance` for deep fuzzing;
+// the seed corpus runs under plain `go test`.
+
+func FuzzAllDistances(f *testing.F) {
+	seeds := [][2]string{
+		{"", ""},
+		{"a", ""},
+		{"2008 lsu tigers football team", "2008 lsu tigers baseball team"},
+		{"日本語", "日本"},
+		{"\x00\xff", "weird\tbytes"},
+		{"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa", "a"},
+	}
+	for _, s := range seeds {
+		f.Add(s[0], s[1])
+	}
+	f.Fuzz(func(t *testing.T, a, b string) {
+		check := func(name string, d float64) {
+			if d < 0 || d > 1 || math.IsNaN(d) {
+				t.Fatalf("%s(%q,%q) = %v out of [0,1]", name, a, b, d)
+			}
+		}
+		check("EditDistance", EditDistance(a, b))
+		check("JaroWinklerDistance", JaroWinklerDistance(a, b))
+		check("MongeElkan", MongeElkan(a, b))
+		check("SmithWaterman", SmithWaterman(a, b))
+		if d := EditDistance(a, a); d != 0 {
+			t.Fatalf("ED identity broken on %q: %v", a, d)
+		}
+		if d := Levenshtein(a, b); d != Levenshtein(b, a) {
+			t.Fatalf("Levenshtein asymmetric on %q/%q", a, b)
+		}
+	})
+}

@@ -1,0 +1,87 @@
+package distance
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMongeElkanIdentityAndRange(t *testing.T) {
+	f := func(a, b string) bool {
+		d := MongeElkan(a, b)
+		if d < -1e-12 || d > 1+1e-12 || math.IsNaN(d) {
+			return false
+		}
+		return MongeElkan(a, a) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMongeElkanSymmetric(t *testing.T) {
+	f := func(a, b string) bool {
+		return math.Abs(MongeElkan(a, b)-MongeElkan(b, a)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMongeElkanForgivesReorderAndTypos(t *testing.T) {
+	base := "wisconsin badgers football"
+	reorderedTypo := "badgers wisconson football" // reorder + typo
+	unrelated := "quantum elephant syzygy"
+	if MongeElkan(base, reorderedTypo) >= MongeElkan(base, unrelated) {
+		t.Errorf("ME(%.3f) should beat unrelated (%.3f)",
+			MongeElkan(base, reorderedTypo), MongeElkan(base, unrelated))
+	}
+	if d := MongeElkan(base, reorderedTypo); d > 0.2 {
+		t.Errorf("ME distance %.3f too large for near match", d)
+	}
+}
+
+func TestMongeElkanEmpty(t *testing.T) {
+	if MongeElkan("", "") != 0 {
+		t.Error("ME(empty,empty) != 0")
+	}
+	if MongeElkan("", "abc") != 1 {
+		t.Error("ME(empty,abc) != 1")
+	}
+}
+
+func TestSmithWatermanKnown(t *testing.T) {
+	// Perfect substring: distance 0.
+	if d := SmithWaterman("needle", "the needle in the haystack"); d != 0 {
+		t.Errorf("SW substring distance = %f, want 0", d)
+	}
+	if d := SmithWaterman("abc", "abc"); d != 0 {
+		t.Errorf("SW identical = %f", d)
+	}
+	// Completely disjoint alphabets: no positive-scoring alignment.
+	if d := SmithWaterman("aaa", "bbb"); d != 1 {
+		t.Errorf("SW disjoint = %f, want 1", d)
+	}
+}
+
+func TestSmithWatermanRangeAndIdentity(t *testing.T) {
+	f := func(a, b string) bool {
+		d := SmithWaterman(a, b)
+		if d < 0 || d > 1 || math.IsNaN(d) {
+			return false
+		}
+		return SmithWaterman(a, a) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSmithWatermanSymmetric(t *testing.T) {
+	f := func(a, b string) bool {
+		return math.Abs(SmithWaterman(a, b)-SmithWaterman(b, a)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

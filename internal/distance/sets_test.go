@@ -1,0 +1,216 @@
+package distance
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func sv(tokens ...string) Sparse {
+	m := map[string]float64{}
+	for _, t := range tokens {
+		m[t] += 1
+	}
+	return NewSparse(m)
+}
+
+func TestJaccardKnown(t *testing.T) {
+	a := sv("north", "carolina", "tar", "heels", "2008")
+	b := sv("north", "carolina", "tar", "heels", "2008", "team")
+	// intersection 5, union 6 -> distance 1/6
+	if got := Jaccard(a, b); math.Abs(got-1.0/6) > 1e-12 {
+		t.Errorf("Jaccard = %f, want %f", got, 1.0/6)
+	}
+}
+
+func TestJaccardDisjointAndEqual(t *testing.T) {
+	a := sv("x", "y")
+	b := sv("p", "q")
+	if got := Jaccard(a, b); got != 1 {
+		t.Errorf("disjoint Jaccard = %f, want 1", got)
+	}
+	if got := Jaccard(a, a); got != 0 {
+		t.Errorf("identical Jaccard = %f, want 0", got)
+	}
+}
+
+func TestEmptyConventions(t *testing.T) {
+	e := sv()
+	a := sv("x")
+	fns := map[string]func(Sparse, Sparse) float64{
+		"Jaccard": Jaccard, "Cosine": Cosine, "Dice": Dice,
+		"MaxInclusion": MaxInclusion, "Inclusion": Inclusion,
+	}
+	for name, f := range fns {
+		if got := f(e, e); got != 0 {
+			t.Errorf("%s(empty,empty) = %f, want 0", name, got)
+		}
+		if got := f(e, a); got != 1 {
+			t.Errorf("%s(empty,x) = %f, want 1", name, got)
+		}
+		if got := f(a, e); got != 1 {
+			t.Errorf("%s(x,empty) = %f, want 1", name, got)
+		}
+	}
+}
+
+func TestCosineKnown(t *testing.T) {
+	a := NewSparse(map[string]float64{"x": 1, "y": 1})
+	b := NewSparse(map[string]float64{"x": 1})
+	want := 1 - 1/math.Sqrt2
+	if got := Cosine(a, b); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Cosine = %f, want %f", got, want)
+	}
+}
+
+func TestDiceKnown(t *testing.T) {
+	a := sv("a", "b", "c")
+	b := sv("b", "c", "d")
+	// 2*2/(3+3) = 2/3 similarity -> distance 1/3
+	if got := Dice(a, b); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("Dice = %f, want 1/3", got)
+	}
+}
+
+func TestInclusionDirectional(t *testing.T) {
+	l := sv("super", "bowl", "xlvii", "2013")
+	r := sv("super", "bowl")
+	// r fully contained in l
+	if got := Inclusion(l, r); got != 0 {
+		t.Errorf("Inclusion(l, contained r) = %f, want 0", got)
+	}
+	// reverse direction: only half of l's tokens in r
+	if got := Inclusion(r, l); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Inclusion(r, l) = %f, want 0.5", got)
+	}
+}
+
+func TestMaxInclusion(t *testing.T) {
+	a := sv("a", "b", "c", "d")
+	b := sv("a", "b")
+	if got := MaxInclusion(a, b); got != 0 {
+		t.Errorf("MaxInclusion with contained smaller set = %f, want 0", got)
+	}
+	c := sv("a", "x")
+	if got := MaxInclusion(a, c); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("MaxInclusion = %f, want 0.5", got)
+	}
+}
+
+func TestContainmentGated(t *testing.T) {
+	l := sv("super", "bowl", "xlvii", "champions")
+	rIn := sv("super", "bowl")
+	rOut := sv("super", "bowl", "2013")
+	if got := ContainJaccard(l, rOut); got != 1 {
+		t.Errorf("ContainJaccard without containment = %f, want 1", got)
+	}
+	if got := ContainJaccard(l, rIn); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("ContainJaccard with containment = %f, want 0.5 (2/4)", got)
+	}
+	if got := ContainCosine(l, rOut); got != 1 {
+		t.Errorf("ContainCosine without containment = %f, want 1", got)
+	}
+	if got := ContainDice(l, rOut); got != 1 {
+		t.Errorf("ContainDice without containment = %f, want 1", got)
+	}
+	// Contained: Dice = 1 - 2*2/(4+2) = 1/3
+	if got := ContainDice(l, rIn); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("ContainDice with containment = %f, want 1/3", got)
+	}
+}
+
+func randomSparse(r *rand.Rand) Sparse {
+	vocab := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	m := map[string]float64{}
+	n := r.Intn(6)
+	for i := 0; i < n; i++ {
+		m[vocab[r.Intn(len(vocab))]] = 0.1 + r.Float64()*2
+	}
+	return NewSparse(m)
+}
+
+func TestSetDistanceProperties(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	symmetric := map[string]func(Sparse, Sparse) float64{
+		"Jaccard": Jaccard, "Cosine": Cosine, "Dice": Dice, "MaxInclusion": MaxInclusion,
+	}
+	all := map[string]func(Sparse, Sparse) float64{
+		"Inclusion": Inclusion, "ContainJaccard": ContainJaccard,
+		"ContainCosine": ContainCosine, "ContainDice": ContainDice,
+	}
+	for name, f := range symmetric {
+		all[name] = f
+	}
+	for i := 0; i < 2000; i++ {
+		a, b := randomSparse(r), randomSparse(r)
+		for name, f := range all {
+			d := f(a, b)
+			if d < -1e-12 || d > 1+1e-12 || math.IsNaN(d) {
+				t.Fatalf("%s out of range: %v on %v %v", name, d, a.Tokens, b.Tokens)
+			}
+			if dd := f(a, a); dd > 1e-12 {
+				t.Fatalf("%s(a,a) = %v != 0 on %v", name, dd, a.Tokens)
+			}
+		}
+		for name, f := range symmetric {
+			if math.Abs(f(a, b)-f(b, a)) > 1e-12 {
+				t.Fatalf("%s not symmetric on %v %v", name, a.Tokens, b.Tokens)
+			}
+		}
+	}
+}
+
+func TestJaccardTriangleInequality(t *testing.T) {
+	// Weighted Jaccard distance is a metric; the 2d-ball argument of §3.1
+	// leans on the triangle inequality, so verify it on random vectors.
+	r := rand.New(rand.NewSource(77))
+	for i := 0; i < 3000; i++ {
+		a, b, c := randomSparse(r), randomSparse(r), randomSparse(r)
+		ab, bc, ac := Jaccard(a, b), Jaccard(b, c), Jaccard(a, c)
+		if ac > ab+bc+1e-9 {
+			t.Fatalf("triangle violated: d(a,c)=%f > %f+%f on %v %v %v",
+				ac, ab, bc, a.Tokens, b.Tokens, c.Tokens)
+		}
+	}
+}
+
+func TestNewSparseDropsNonPositive(t *testing.T) {
+	s := NewSparse(map[string]float64{"a": 1, "b": 0, "c": -2})
+	if len(s.Tokens) != 1 || s.Tokens[0] != "a" {
+		t.Errorf("NewSparse kept non-positive weights: %v", s.Tokens)
+	}
+}
+
+func TestSparseInvariants(t *testing.T) {
+	f := func(ws []float64) bool {
+		m := map[string]float64{}
+		for i, w := range ws {
+			// Fold arbitrary floats into a sane weight range; Sum/Norm
+			// invariants are about bookkeeping, not float overflow.
+			w = math.Mod(math.Abs(w), 10)
+			if math.IsNaN(w) {
+				w = 0
+			}
+			m[string(rune('a'+i%26))] = w - 3 // some negative/zero, some positive
+		}
+		s := NewSparse(m)
+		var sum, norm2 float64
+		for i := 1; i < len(s.Tokens); i++ {
+			if s.Tokens[i-1] >= s.Tokens[i] {
+				return false // must be sorted strictly
+			}
+		}
+		for _, w := range s.W {
+			if w <= 0 {
+				return false
+			}
+			sum += w
+			norm2 += w * w
+		}
+		return math.Abs(sum-s.Sum) < 1e-9 && math.Abs(math.Sqrt(norm2)-s.Norm) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,128 @@
+package distance
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"a", "", 1},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"missisippi", "mississippi", 1},
+		{"bulldog", "bulldogs", 1},
+		{"abc", "abc", 0},
+		{"abc", "cba", 2},
+		{"日本語", "日本", 1},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q,%q) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLevenshteinSymmetric(t *testing.T) {
+	f := func(a, b string) bool {
+		return Levenshtein(a, b) == Levenshtein(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevenshteinTriangle(t *testing.T) {
+	f := func(a, b, c string) bool {
+		ab := Levenshtein(a, b)
+		bc := Levenshtein(b, c)
+		ac := Levenshtein(a, c)
+		return ac <= ab+bc
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEditDistanceRange(t *testing.T) {
+	f := func(a, b string) bool {
+		d := EditDistance(a, b)
+		return d >= 0 && d <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+	if EditDistance("", "") != 0 {
+		t.Error("two empty strings should have ED 0")
+	}
+	if EditDistance("abc", "abc") != 0 {
+		t.Error("identical strings should have ED 0")
+	}
+	if EditDistance("abc", "xyz") != 1 {
+		t.Error("disjoint same-length strings should have ED 1")
+	}
+}
+
+func TestJaroKnown(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"martha", "marhta", 0.944444},
+		{"dixon", "dicksonx", 0.766667},
+		{"jellyfish", "smellyfish", 0.896296},
+		{"", "", 1},
+		{"a", "", 0},
+		{"abc", "abc", 1},
+	}
+	for _, c := range cases {
+		if got := Jaro(c.a, c.b); math.Abs(got-c.want) > 1e-5 {
+			t.Errorf("Jaro(%q,%q) = %f, want %f", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestJaroWinklerKnown(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"martha", "marhta", 0.961111},
+		{"dwayne", "duane", 0.84},
+		{"abc", "abc", 1},
+	}
+	for _, c := range cases {
+		if got := JaroWinkler(c.a, c.b); math.Abs(got-c.want) > 1e-5 {
+			t.Errorf("JaroWinkler(%q,%q) = %f, want %f", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestJaroWinklerDistanceProperties(t *testing.T) {
+	f := func(a, b string) bool {
+		d := JaroWinklerDistance(a, b)
+		if d < -1e-12 || d > 1+1e-12 {
+			return false
+		}
+		// symmetry of Jaro part: JW is symmetric because prefix and Jaro are
+		return math.Abs(d-JaroWinklerDistance(b, a)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJaroWinklerIdentity(t *testing.T) {
+	f := func(a string) bool {
+		return JaroWinklerDistance(a, a) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

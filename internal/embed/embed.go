@@ -1,0 +1,93 @@
+// Package embed provides deterministic dense string embeddings used by the
+// GED ("embedding distance") join functions.
+//
+// The paper uses spaCy's en_core_web_lg GloVe vectors, which are not
+// available offline. As documented in DESIGN.md, we substitute a
+// feature-hashed character-trigram embedding: each padded trigram of the
+// (pre-processed) string is hashed with FNV-1a into one of Dim buckets with
+// a deterministic sign, the bucket counts are accumulated and the vector is
+// L2-normalized. Like a word embedding, the result is a dense vector whose
+// cosine distance is robust to token reordering and small edits, which is
+// the role GED plays in the configuration space.
+package embed
+
+import (
+	"hash/fnv"
+	"math"
+
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/tokenize"
+)
+
+// Dim is the dimensionality of the hashed embedding space.
+const Dim = 64
+
+// Vector is a dense embedding.
+type Vector [Dim]float64
+
+// Embed maps s to its L2-normalized hashed-trigram embedding. Empty input
+// yields the zero vector.
+func Embed(s string) Vector {
+	var v Vector
+	if s == "" {
+		return v
+	}
+	for _, g := range tokenize.QGrams(s, 3) {
+		h := fnv.New64a()
+		h.Write([]byte(g))
+		sum := h.Sum64()
+		idx := int(sum % Dim)
+		sign := 1.0
+		if (sum>>32)&1 == 1 {
+			sign = -1.0
+		}
+		v[idx] += sign
+	}
+	var norm float64
+	for _, x := range v {
+		norm += x * x
+	}
+	if norm == 0 {
+		// Degenerate (all signed counts cancelled): fall back to a one-hot
+		// bucket so the vector is still unit-length and deterministic.
+		h := fnv.New64a()
+		h.Write([]byte(s))
+		v[int(h.Sum64()%Dim)] = 1
+		return v
+	}
+	norm = math.Sqrt(norm)
+	for i := range v {
+		v[i] /= norm
+	}
+	return v
+}
+
+// CosineDistance returns 1 - cosine similarity of a and b, clamped to
+// [0, 1] (negative cosine similarity is treated as maximally distant).
+// Zero vectors are maximally distant from everything except each other.
+func CosineDistance(a, b Vector) float64 {
+	var dot, na, nb float64
+	for i := 0; i < Dim; i++ {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 && nb == 0 {
+		return 0
+	}
+	if na == 0 || nb == 0 {
+		return 1
+	}
+	d := 1 - dot/math.Sqrt(na*nb)
+	if d < 0 {
+		return 0
+	}
+	if d > 1 {
+		return 1
+	}
+	return d
+}
+
+// Distance embeds both strings and returns their cosine distance.
+func Distance(a, b string) float64 {
+	return CosineDistance(Embed(a), Embed(b))
+}

@@ -1,0 +1,83 @@
+package embed
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmbedDeterministic(t *testing.T) {
+	a := Embed("wisconsin badgers football")
+	b := Embed("wisconsin badgers football")
+	if a != b {
+		t.Error("Embed is not deterministic")
+	}
+}
+
+func TestEmbedUnitNorm(t *testing.T) {
+	f := func(s string) bool {
+		v := Embed(s)
+		if s == "" {
+			return v == Vector{}
+		}
+		var n float64
+		for _, x := range v {
+			n += x * x
+		}
+		return math.Abs(n-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceIdentityAndRange(t *testing.T) {
+	f := func(a, b string) bool {
+		d := Distance(a, b)
+		if d < 0 || d > 1 || math.IsNaN(d) {
+			return false
+		}
+		return Distance(a, a) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceSymmetric(t *testing.T) {
+	f := func(a, b string) bool {
+		return math.Abs(Distance(a, b)-Distance(b, a)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimilarStringsCloserThanUnrelated(t *testing.T) {
+	base := "2008 wisconsin badgers football team"
+	near := "2008 wisconsin badgers football season"
+	far := "artificial satellite telemetry module"
+	if Distance(base, near) >= Distance(base, far) {
+		t.Errorf("embedding does not separate near (%f) from far (%f)",
+			Distance(base, near), Distance(base, far))
+	}
+}
+
+func TestTokenOrderRobustness(t *testing.T) {
+	a := "badgers wisconsin football"
+	b := "wisconsin badgers football"
+	c := "elephant quantum syzygy"
+	if Distance(a, b) >= Distance(a, c) {
+		t.Errorf("reordered tokens (%f) should be closer than unrelated (%f)",
+			Distance(a, b), Distance(a, c))
+	}
+}
+
+func TestEmptyConventions(t *testing.T) {
+	if Distance("", "") != 0 {
+		t.Error("two empties should be distance 0")
+	}
+	if Distance("", "abc") != 1 {
+		t.Error("empty vs non-empty should be distance 1")
+	}
+}

@@ -1,0 +1,275 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/baselines"
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/benchgen"
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/core"
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/dataset"
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/metrics"
+)
+
+// MultiTaskResult is one row of Table 4(a)/7.
+type MultiTaskResult struct {
+	Name      string
+	Columns   string // e.g. "name:0.9 director:0.1"
+	Precision float64
+	Recall    float64
+	AutoAUC   float64
+	MethodAR  map[string]float64
+	MethodAUC map[string]float64
+	Elapsed   time.Duration
+}
+
+// RunMultiTask executes multi-column AutoFJ and the baselines on one task.
+func RunMultiTask(task dataset.Task, cfg Config) MultiTaskResult {
+	cfg = cfg.withDefaults()
+	leftCols := task.Left.AllColumns()
+	rightCols := task.Right.AllColumns()
+	truth := task.Truth
+	tr := MultiTaskResult{
+		Name:      task.Name,
+		MethodAR:  map[string]float64{},
+		MethodAUC: map[string]float64{},
+	}
+	t0 := time.Now()
+	res, err := core.JoinMultiColumnTables(leftCols, rightCols, cfg.coreOptions())
+	tr.Elapsed = time.Since(t0)
+	if err != nil {
+		return tr
+	}
+	ev := metrics.Evaluate(res.Mapping(), truth)
+	tr.Precision = ev.Precision
+	tr.Recall = ev.RecallFraction
+	tr.AutoAUC = metrics.PRAUC(autoScoredJoins(res), truth)
+	var colDesc []string
+	for i, c := range res.Columns {
+		colDesc = append(colDesc, fmt.Sprintf("%s:%.1f", task.Left.Columns[c], res.Weights[i]))
+	}
+	tr.Columns = strings.Join(colDesc, " ")
+
+	// Excel/FW/PP/ZeroER/ECM consume all columns concatenated (§5.2.2).
+	leftCat := baselines.ConcatColumns(leftCols)
+	rightCat := baselines.ConcatColumns(rightCols)
+	cands := baselines.Candidates(leftCat, rightCat, cfg.Beta)
+	record := func(name string, joins []metrics.ScoredJoin, tru metrics.Truth) {
+		tr.MethodAR[name] = metrics.AdjustedRecallFraction(joins, tru, tr.Precision)
+		tr.MethodAUC[name] = metrics.PRAUC(joins, tru)
+	}
+	record("Excel", baselines.NewExcel(leftCat, rightCat).Joins(leftCat, rightCat, cands), truth)
+	record("FW", baselines.FuzzyWuzzy{}.Joins(leftCat, rightCat, cands), truth)
+	record("ZeroER", baselines.ZeroER{}.Joins(leftCat, rightCat, cands), truth)
+	record("ECM", baselines.ECM{}.Joins(leftCat, rightCat, cands), truth)
+	record("PP", baselines.PPJoin{MinSim: 0.3}.Joins(leftCat, rightCat), truth)
+
+	if cfg.Supervised {
+		in := baselines.NewSupervisedInputMulti(leftCols, rightCols, cands, truth, cfg.Seed)
+		testTruth := in.TestTruth()
+		record("Magellan", baselines.Magellan(in), testTruth)
+		dmJoins, dmTruth := baselines.DeepMatcherJoins(leftCat, rightCat, cands, truth, cfg.Seed)
+		record("DM", dmJoins, dmTruth)
+		record("AL", baselines.ActiveLearning(in), testTruth)
+	}
+	return tr
+}
+
+// multiTasksFor generates all multi-column tasks at the configured scale.
+func multiTasksFor(cfg Config) []dataset.Task {
+	tasks := make([]dataset.Task, benchgen.NumMultiColumnTasks())
+	for i := range tasks {
+		tasks[i] = benchgen.MultiColumnTask(i, benchgen.Options{Seed: cfg.Seed, Scale: cfg.Scale})
+	}
+	return tasks
+}
+
+// Table3 prints the multi-column dataset inventory (Table 3).
+func Table3(cfg Config) []dataset.Task {
+	cfg = cfg.withDefaults()
+	tasks := multiTasksFor(cfg)
+	w := tabwriter.NewWriter(cfg.Out, 2, 4, 1, ' ', 0)
+	fmt.Fprintln(w, "Dataset\tDomain\t#Attr\tSize(L-R)\t#Matches")
+	for _, t := range tasks {
+		fmt.Fprintf(w, "%s\t\t%d\t%d-%d\t%d\n",
+			t.Name, len(t.Left.Columns), t.Left.NumRows(), t.Right.NumRows(), len(t.Truth))
+	}
+	w.Flush()
+	return tasks
+}
+
+// Table4aResult aggregates the multi-column comparison.
+type Table4aResult struct {
+	Rows []MultiTaskResult
+	Avg  map[string]float64
+}
+
+// Table4a runs the overall multi-column quality comparison (Table 4a).
+func Table4a(cfg Config) Table4aResult {
+	cfg = cfg.withDefaults()
+	tasks := multiTasksFor(cfg)
+	res := Table4aResult{Avg: map[string]float64{}}
+	for _, task := range tasks {
+		res.Rows = append(res.Rows, RunMultiTask(task, cfg))
+	}
+	methods := multiMethodNames(res.Rows)
+	var pSum, rSum float64
+	for _, r := range res.Rows {
+		pSum += r.Precision
+		rSum += r.Recall
+	}
+	res.Avg["P"] = pSum / float64(len(res.Rows))
+	res.Avg["R"] = rSum / float64(len(res.Rows))
+	for _, m := range methods {
+		var sum float64
+		for _, r := range res.Rows {
+			sum += r.MethodAR[m]
+		}
+		res.Avg[m] = sum / float64(len(res.Rows))
+	}
+	w := tabwriter.NewWriter(cfg.Out, 2, 4, 1, ' ', 0)
+	fmt.Fprintf(w, "Dataset\tColumns+Weights\tP\tR")
+	for _, m := range methods {
+		fmt.Fprintf(w, "\t%s", m)
+	}
+	fmt.Fprintln(w)
+	for _, r := range res.Rows {
+		fmt.Fprintf(w, "%s\t%s\t%.3f\t%.3f", r.Name, r.Columns, r.Precision, r.Recall)
+		for _, m := range methods {
+			fmt.Fprintf(w, "\t%.3f", r.MethodAR[m])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "Average\t\t%.3f\t%.3f", res.Avg["P"], res.Avg["R"])
+	for _, m := range methods {
+		fmt.Fprintf(w, "\t%.3f", res.Avg[m])
+	}
+	fmt.Fprintln(w)
+	w.Flush()
+	return res
+}
+
+// Table4bResult reports the robustness-to-random-columns deltas.
+type Table4bResult struct {
+	Names                   []string
+	DeltaAutoR              []float64
+	DeltaExcelAR, DeltaALAR []float64
+	AvgAuto, AvgExcel       float64
+	AvgAL                   float64
+}
+
+// Table4b adds an adversarial random-string column to every multi-column
+// task and reports the change in AutoFJ recall and in Excel/AL adjusted
+// recall (Table 4b). AutoFJ's column selection should ignore the noise.
+func Table4b(cfg Config) Table4bResult {
+	cfg = cfg.withDefaults()
+	tasks := multiTasksFor(cfg)
+	var res Table4bResult
+	rng := rand.New(rand.NewSource(cfg.Seed + 4242))
+	for _, task := range tasks {
+		base := RunMultiTask(task, cfg)
+		noisy := task
+		noisy.Left = addRandomColumn(task.Left, rng)
+		noisy.Right = addRandomColumn(task.Right, rng)
+		after := RunMultiTask(noisy, cfg)
+		res.Names = append(res.Names, task.Name)
+		res.DeltaAutoR = append(res.DeltaAutoR, after.Recall-base.Recall)
+		res.DeltaExcelAR = append(res.DeltaExcelAR, after.MethodAR["Excel"]-base.MethodAR["Excel"])
+		res.DeltaALAR = append(res.DeltaALAR, after.MethodAR["AL"]-base.MethodAR["AL"])
+	}
+	n := float64(len(res.Names))
+	for i := range res.Names {
+		res.AvgAuto += res.DeltaAutoR[i] / n
+		res.AvgExcel += res.DeltaExcelAR[i] / n
+		res.AvgAL += res.DeltaALAR[i] / n
+	}
+	w := tabwriter.NewWriter(cfg.Out, 2, 4, 1, ' ', 0)
+	fmt.Fprintln(w, "Dataset\tAutoFJ ΔR\tExcel ΔAR\tAL ΔAR")
+	for i, name := range res.Names {
+		fmt.Fprintf(w, "%s\t%+.3f\t%+.3f\t%+.3f\n", name, res.DeltaAutoR[i], res.DeltaExcelAR[i], res.DeltaALAR[i])
+	}
+	fmt.Fprintf(w, "Average\t%+.3f\t%+.3f\t%+.3f\n", res.AvgAuto, res.AvgExcel, res.AvgAL)
+	w.Flush()
+	return res
+}
+
+// addRandomColumn appends a column of random 10–50 character strings.
+func addRandomColumn(t dataset.Table, rng *rand.Rand) dataset.Table {
+	out := dataset.Table{Columns: append(append([]string{}, t.Columns...), "random")}
+	for _, row := range t.Rows {
+		b := make([]byte, 10+rng.Intn(41))
+		for i := range b {
+			b[i] = byte('a' + rng.Intn(26))
+		}
+		out.Rows = append(out.Rows, append(append([]string{}, row...), string(b)))
+	}
+	return out
+}
+
+// Table7Result reports multi-column PR-AUC per method.
+type Table7Result struct {
+	Rows []MultiTaskResult
+	Avg  map[string]float64
+}
+
+// Table7 reports the multi-column PR-AUC comparison (Table 7).
+func Table7(cfg Config) Table7Result {
+	cfg = cfg.withDefaults()
+	tasks := multiTasksFor(cfg)
+	res := Table7Result{Avg: map[string]float64{}}
+	for _, task := range tasks {
+		res.Rows = append(res.Rows, RunMultiTask(task, cfg))
+	}
+	methods := multiMethodNames(res.Rows)
+	var aSum float64
+	for _, r := range res.Rows {
+		aSum += r.AutoAUC
+	}
+	res.Avg["AutoFJ"] = aSum / float64(len(res.Rows))
+	for _, m := range methods {
+		var sum float64
+		for _, r := range res.Rows {
+			sum += r.MethodAUC[m]
+		}
+		res.Avg[m] = sum / float64(len(res.Rows))
+	}
+	w := tabwriter.NewWriter(cfg.Out, 2, 4, 1, ' ', 0)
+	fmt.Fprintf(w, "Dataset\tAutoFJ")
+	for _, m := range methods {
+		fmt.Fprintf(w, "\t%s", m)
+	}
+	fmt.Fprintln(w)
+	for _, r := range res.Rows {
+		fmt.Fprintf(w, "%s\t%.3f", r.Name, r.AutoAUC)
+		for _, m := range methods {
+			fmt.Fprintf(w, "\t%.3f", r.MethodAUC[m])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "Average\t%.3f", res.Avg["AutoFJ"])
+	for _, m := range methods {
+		fmt.Fprintf(w, "\t%.3f", res.Avg[m])
+	}
+	fmt.Fprintln(w)
+	w.Flush()
+	return res
+}
+
+func multiMethodNames(rows []MultiTaskResult) []string {
+	set := map[string]bool{}
+	for _, r := range rows {
+		for m := range r.MethodAR {
+			set[m] = true
+		}
+	}
+	var out []string
+	for _, m := range append(append([]string{}, UnsupervisedMethods...), SupervisedMethods...) {
+		if set[m] {
+			out = append(out, m)
+		}
+	}
+	return out
+}

@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"text/tabwriter"
+
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/config"
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/metrics"
+)
+
+// Table2Result aggregates the headline single-column comparison (Table 2):
+// AutoFJ precision/recall + PEPCC + UBR per dataset, adjusted recall of
+// every baseline, and the UC/NR ablations, with averages and paired
+// upper-tailed t-test p-values.
+type Table2Result struct {
+	Rows        []TaskResult
+	BSJFunction int
+	// Avg holds the averages row keyed by column name ("P", "R", "UBR",
+	// "PEPCC", "BSJ", method names, "AutoFJ-UC", "AutoFJ-NR").
+	Avg map[string]float64
+	// PValue holds the t-test p-value of AutoFJ recall vs each baseline AR.
+	PValue map[string]float64
+}
+
+// Table2 runs the full single-column evaluation.
+func Table2(cfg Config) Table2Result {
+	cfg = cfg.withDefaults()
+	tasks := tasksFor(cfg)
+	rows := make([]TaskResult, len(tasks))
+	for i, task := range tasks {
+		rows[i] = RunSingleTask(task, cfg)
+	}
+	res := Table2Result{Rows: rows, Avg: map[string]float64{}, PValue: map[string]float64{}}
+	res.BSJFunction = bestStaticFunction(rows)
+	methods := sortedMethodNames(rows)
+
+	res.Avg["UBR"] = meanOf(rows, func(r TaskResult) float64 { return r.UBR })
+	res.Avg["PEPCC"] = meanOf(rows, func(r TaskResult) float64 { return r.PEPCC })
+	res.Avg["P"] = meanOf(rows, func(r TaskResult) float64 { return r.Precision })
+	res.Avg["R"] = meanOf(rows, func(r TaskResult) float64 { return r.Recall })
+	res.Avg["AutoFJ-UC"] = meanOf(rows, func(r TaskResult) float64 { return r.ARUC })
+	res.Avg["AutoFJ-NR"] = meanOf(rows, func(r TaskResult) float64 { return r.ARNR })
+	if res.BSJFunction >= 0 {
+		res.Avg["BSJ"] = meanOf(rows, func(r TaskResult) float64 { return r.StaticAR[res.BSJFunction] })
+	}
+	for _, m := range methods {
+		m := m
+		res.Avg[m] = meanOf(rows, func(r TaskResult) float64 { return r.MethodAR[m] })
+	}
+
+	// Significance: AutoFJ recall vs each baseline's AR, paired by task.
+	autoR := make([]float64, len(rows))
+	for i, r := range rows {
+		autoR[i] = r.Recall
+	}
+	ttest := func(name string, get func(TaskResult) float64) {
+		other := make([]float64, len(rows))
+		for i, r := range rows {
+			other[i] = get(r)
+		}
+		res.PValue[name] = upperTTest(autoR, other)
+	}
+	if res.BSJFunction >= 0 {
+		ttest("BSJ", func(r TaskResult) float64 { return r.StaticAR[res.BSJFunction] })
+	}
+	for _, m := range methods {
+		m := m
+		ttest(m, func(r TaskResult) float64 { return r.MethodAR[m] })
+	}
+
+	printTable2(cfg, res, methods)
+	return res
+}
+
+func printTable2(cfg Config, res Table2Result, methods []string) {
+	w := tabwriter.NewWriter(cfg.Out, 2, 4, 1, ' ', 0)
+	fmt.Fprintf(w, "Dataset\tSize(L-R)\tUBR\tPEPCC\tP\tR")
+	fmt.Fprintf(w, "\tBSJ")
+	for _, m := range methods {
+		fmt.Fprintf(w, "\t%s", m)
+	}
+	fmt.Fprintf(w, "\tAutoFJ-UC\tAutoFJ-NR\n")
+	for _, r := range res.Rows {
+		fmt.Fprintf(w, "%s\t%d-%d\t%.3f\t%s\t%.3f\t%.3f", r.Name, r.NL, r.NR, r.UBR, fmtNaN(r.PEPCC), r.Precision, r.Recall)
+		if res.BSJFunction >= 0 {
+			fmt.Fprintf(w, "\t%.3f", r.StaticAR[res.BSJFunction])
+		} else {
+			fmt.Fprintf(w, "\t-")
+		}
+		for _, m := range methods {
+			fmt.Fprintf(w, "\t%.3f", r.MethodAR[m])
+		}
+		fmt.Fprintf(w, "\t%.3f\t%.3f\n", r.ARUC, r.ARNR)
+	}
+	fmt.Fprintf(w, "Average\t\t%.3f\t%s\t%.3f\t%.3f\t%.3f", res.Avg["UBR"], fmtNaN(res.Avg["PEPCC"]), res.Avg["P"], res.Avg["R"], res.Avg["BSJ"])
+	for _, m := range methods {
+		fmt.Fprintf(w, "\t%.3f", res.Avg[m])
+	}
+	fmt.Fprintf(w, "\t%.3f\t%.3f\n", res.Avg["AutoFJ-UC"], res.Avg["AutoFJ-NR"])
+	fmt.Fprintf(w, "T-test p\t\t\t\t\t\t%s", fmtNaN(res.PValue["BSJ"]))
+	for _, m := range methods {
+		fmt.Fprintf(w, "\t%s", fmtNaN(res.PValue[m]))
+	}
+	fmt.Fprintf(w, "\t\t\n")
+	w.Flush()
+}
+
+// Table5Result holds PR-AUC scores per dataset and method (Table 5).
+type Table5Result struct {
+	Rows []TaskResult
+	// Avg holds mean PR-AUC per column ("AutoFJ", "BSJ", methods).
+	Avg map[string]float64
+}
+
+// Table5 reports PR-AUC per dataset. It reuses Table 2's per-task runs.
+func Table5(cfg Config) Table5Result {
+	cfg = cfg.withDefaults()
+	tasks := tasksFor(cfg)
+	rows := make([]TaskResult, len(tasks))
+	for i, task := range tasks {
+		rows[i] = RunSingleTask(task, cfg)
+	}
+	return table5From(cfg, rows)
+}
+
+func table5From(cfg Config, rows []TaskResult) Table5Result {
+	res := Table5Result{Rows: rows, Avg: map[string]float64{}}
+	methods := sortedMethodNames(rows)
+	// BSJ for AUC: the static function with the best mean AUC.
+	bsj := -1
+	if len(rows) > 0 && len(rows[0].StaticAUC) > 0 {
+		nf := len(rows[0].StaticAUC)
+		bestMean := -1.0
+		for fi := 0; fi < nf; fi++ {
+			var sum float64
+			for _, r := range rows {
+				sum += r.StaticAUC[fi]
+			}
+			if m := sum / float64(len(rows)); m > bestMean {
+				bestMean = m
+				bsj = fi
+			}
+		}
+	}
+	res.Avg["AutoFJ"] = meanOf(rows, func(r TaskResult) float64 { return r.AutoAUC })
+	if bsj >= 0 {
+		res.Avg["BSJ"] = meanOf(rows, func(r TaskResult) float64 { return r.StaticAUC[bsj] })
+	}
+	for _, m := range methods {
+		m := m
+		res.Avg[m] = meanOf(rows, func(r TaskResult) float64 { return r.MethodAUC[m] })
+	}
+
+	w := tabwriter.NewWriter(cfg.Out, 2, 4, 1, ' ', 0)
+	fmt.Fprintf(w, "Dataset\tAutoFJ\tBSJ")
+	for _, m := range methods {
+		fmt.Fprintf(w, "\t%s", m)
+	}
+	fmt.Fprintln(w)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%.3f", r.Name, r.AutoAUC)
+		if bsj >= 0 {
+			fmt.Fprintf(w, "\t%.3f", r.StaticAUC[bsj])
+		} else {
+			fmt.Fprintf(w, "\t-")
+		}
+		for _, m := range methods {
+			fmt.Fprintf(w, "\t%.3f", r.MethodAUC[m])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "Average\t%.3f\t%.3f", res.Avg["AutoFJ"], res.Avg["BSJ"])
+	for _, m := range methods {
+		fmt.Fprintf(w, "\t%.3f", res.Avg[m])
+	}
+	fmt.Fprintln(w)
+	w.Flush()
+	return res
+}
+
+// Table6 reruns the single-column evaluation with the reduced
+// 24-configuration space (Table 6).
+func Table6(cfg Config) Table2Result {
+	cfg = cfg.withDefaults()
+	cfg.Space = config.ReducedSpace()
+	return Table2(cfg)
+}
+
+func fmtNaN(v float64) string {
+	if math.IsNaN(v) {
+		return "NA"
+	}
+	return fmt.Sprintf("%.3f", v)
+}
+
+func upperTTest(a, b []float64) float64 {
+	return metrics.UpperTailedTTestP(a, b)
+}

@@ -1,0 +1,137 @@
+// Package negrule implements negative-rule learning (Algorithm 2 of the
+// Auto-FuzzyJoin paper, §3.3).
+//
+// If two records of the reference table L differ by exactly one word on
+// each side — e.g. "2008 LSU Tigers football team" vs "2008 LSU Tigers
+// baseball team" — then, because L has few or no duplicates, the differing
+// word pair ("football", "baseball") must distinguish different entities.
+// Such a pair becomes a negative rule; any candidate (l, r) join pair whose
+// word sets differ by exactly that pair is vetoed.
+package negrule
+
+import (
+	"sort"
+	"strings"
+
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/textproc"
+)
+
+// Rule is an unordered pair of words known to separate distinct entities.
+type Rule struct {
+	A, B string // A < B lexicographically
+}
+
+// NewRule builds the canonical (sorted) rule for a word pair.
+func NewRule(a, b string) Rule {
+	if a > b {
+		a, b = b, a
+	}
+	return Rule{A: a, B: b}
+}
+
+// Set is a learned collection of negative rules.
+type Set struct {
+	rules map[Rule]bool
+	// wordCache memoizes the pre-processed word set per raw record so that
+	// Learn and Blocks do the Algorithm-2 pre-processing exactly once.
+	wordCache map[string][]string
+}
+
+// NewSet returns an empty rule set.
+func NewSet() *Set {
+	return &Set{rules: make(map[Rule]bool), wordCache: make(map[string][]string)}
+}
+
+// Len returns the number of learned rules.
+func (s *Set) Len() int { return len(s.rules) }
+
+// Add inserts an already-learned rule verbatim (words must be in the
+// post-processing form produced by learning, e.g. stemmed lower-case).
+// Used when deserializing saved programs.
+func (s *Set) Add(a, b string) { s.rules[NewRule(a, b)] = true }
+
+// Rules returns the learned rules in sorted order (for display/tests).
+func (s *Set) Rules() []Rule {
+	out := make([]Rule, 0, len(s.rules))
+	for r := range s.rules {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// words returns the distinct, sorted word set of a record after the
+// Algorithm-2 pre-processing (lower-casing, stemming, punctuation removal).
+func (s *Set) words(record string) []string {
+	if w, ok := s.wordCache[record]; ok {
+		return w
+	}
+	fields := strings.Fields(textproc.LowerStemRemovePunct.Apply(record))
+	sort.Strings(fields)
+	// dedupe in place
+	out := fields[:0]
+	for i, f := range fields {
+		if i == 0 || fields[i-1] != f {
+			out = append(out, f)
+		}
+	}
+	s.wordCache[record] = out
+	return out
+}
+
+// symDiff returns the two one-sided word-set differences W(a)\W(b) and
+// W(b)\W(a) of sorted distinct word slices.
+func symDiff(a, b []string) (onlyA, onlyB []string) {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			i++
+			j++
+		case a[i] < b[j]:
+			onlyA = append(onlyA, a[i])
+			i++
+		default:
+			onlyB = append(onlyB, b[j])
+			j++
+		}
+	}
+	onlyA = append(onlyA, a[i:]...)
+	onlyB = append(onlyB, b[j:]...)
+	return onlyA, onlyB
+}
+
+// LearnPair inspects one L–L record pair and records a negative rule when
+// the two word sets differ by exactly one word each (Definition 3.1).
+func (s *Set) LearnPair(l1, l2 string) {
+	d1, d2 := symDiff(s.words(l1), s.words(l2))
+	if len(d1) == 1 && len(d2) == 1 {
+		s.rules[NewRule(d1[0], d2[0])] = true
+	}
+}
+
+// Learn runs LearnPair over a list of candidate L–L pairs (the pairs that
+// survive blocking, per Algorithm 1 line 2).
+func (s *Set) Learn(pairs [][2]string) {
+	for _, p := range pairs {
+		s.LearnPair(p[0], p[1])
+	}
+}
+
+// Blocks reports whether the (l, r) pair is vetoed: their word sets differ
+// by exactly one word on each side and that word pair is a learned rule.
+func (s *Set) Blocks(l, r string) bool {
+	if len(s.rules) == 0 {
+		return false
+	}
+	d1, d2 := symDiff(s.words(l), s.words(r))
+	if len(d1) != 1 || len(d2) != 1 {
+		return false
+	}
+	return s.rules[NewRule(d1[0], d2[0])]
+}

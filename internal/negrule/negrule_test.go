@@ -1,0 +1,109 @@
+package negrule
+
+import "testing"
+
+func TestLearnsPaperExamples(t *testing.T) {
+	s := NewSet()
+	s.Learn([][2]string{
+		{"2008 LSU Tigers baseball team", "2008 LSU Tigers football team"},
+		{"2007 Wisconsin Badgers football team", "2008 Wisconsin Badgers football team"},
+	})
+	if s.Len() != 2 {
+		t.Fatalf("learned %d rules, want 2: %v", s.Len(), s.Rules())
+	}
+	// The learned rules must veto the corresponding L-R false positives.
+	if !s.Blocks("2007 LSU Tigers football team", "2007 LSU Tigers baseball team") {
+		t.Error("football/baseball rule did not block")
+	}
+	if !s.Blocks("2007 Wisconsin Badgers football team", "2008 Wisconsin Badgers football team") {
+		t.Error("2007/2008 rule did not block")
+	}
+	// But must not block pairs that differ differently.
+	if s.Blocks("2008 LSU Tigers football team", "2008 LSU Tigers football") {
+		t.Error("blocked a pair with a one-sided diff")
+	}
+	if s.Blocks("2008 LSU Tigers football team", "2008 LSU Tigers football squad") {
+		t.Error("blocked a pair whose diff is not a learned rule")
+	}
+}
+
+func TestNoRuleWhenDiffLargerThanOne(t *testing.T) {
+	s := NewSet()
+	s.LearnPair("alpha beta gamma", "alpha delta epsilon")
+	if s.Len() != 0 {
+		t.Errorf("learned %v from a 2-word diff", s.Rules())
+	}
+}
+
+func TestNoRuleFromIdenticalWordSets(t *testing.T) {
+	s := NewSet()
+	s.LearnPair("alpha beta", "beta alpha")
+	if s.Len() != 0 {
+		t.Errorf("learned %v from identical word sets", s.Rules())
+	}
+}
+
+func TestRuleIsUnordered(t *testing.T) {
+	s := NewSet()
+	s.LearnPair("x football", "x baseball")
+	if !s.Blocks("y baseball", "y football") {
+		t.Error("rule should apply in both directions")
+	}
+}
+
+func TestPreprocessingAppliesStemmingAndPunct(t *testing.T) {
+	s := NewSet()
+	// "Teams" stems to "team" on both sides; diff is football vs baseball.
+	s.LearnPair("LSU Football Teams!", "LSU Baseball Teams")
+	if s.Len() != 1 {
+		t.Fatalf("learned %d rules, want 1: %v", s.Len(), s.Rules())
+	}
+	if !s.Blocks("lsu football team", "lsu baseball team") {
+		t.Error("stemmed rule did not block stemmed variant")
+	}
+}
+
+func TestEmptySetBlocksNothing(t *testing.T) {
+	s := NewSet()
+	if s.Blocks("a b", "a c") {
+		t.Error("empty set blocked a pair")
+	}
+}
+
+func TestNewRuleCanonical(t *testing.T) {
+	if NewRule("b", "a") != (Rule{A: "a", B: "b"}) {
+		t.Error("NewRule not canonical")
+	}
+}
+
+func TestRulesSortedAndAdd(t *testing.T) {
+	s := NewSet()
+	s.Add("zulu", "alpha")
+	s.Add("mike", "bravo")
+	s.Add("alpha", "bravo")
+	rules := s.Rules()
+	if len(rules) != 3 {
+		t.Fatalf("len = %d", len(rules))
+	}
+	for i := 1; i < len(rules); i++ {
+		prev, cur := rules[i-1], rules[i]
+		if prev.A > cur.A || (prev.A == cur.A && prev.B > cur.B) {
+			t.Fatalf("rules not sorted: %v", rules)
+		}
+	}
+	if !s.Blocks("x zulu", "x alpha") {
+		t.Error("Added rule does not block")
+	}
+}
+
+func TestSymDiff(t *testing.T) {
+	a := []string{"a", "b", "c"}
+	b := []string{"b", "c", "d", "e"}
+	d1, d2 := symDiff(a, b)
+	if len(d1) != 1 || d1[0] != "a" {
+		t.Errorf("d1 = %v", d1)
+	}
+	if len(d2) != 2 || d2[0] != "d" || d2[1] != "e" {
+		t.Errorf("d2 = %v", d2)
+	}
+}

@@ -1,0 +1,28 @@
+package textproc
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzApply checks the pre-processing pipelines on arbitrary input: no
+// panics, canonical spacing, and stability of the canonical form.
+func FuzzApply(f *testing.F) {
+	for _, s := range []string{
+		"", "  spaced   out  ", "2008 LSU Tigers!", "ALL-CAPS_PUNCT.",
+		"日本語 と English", "\x00\x01控え", strings.Repeat("running ", 40),
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		for _, o := range Options() {
+			out := o.Apply(s)
+			if strings.Contains(out, "  ") {
+				t.Fatalf("%v produced double space on %q", o, s)
+			}
+			if out != strings.TrimSpace(out) {
+				t.Fatalf("%v produced untrimmed output on %q", o, s)
+			}
+		}
+	})
+}

@@ -1,0 +1,100 @@
+// Package textproc implements the record pre-processing options of the
+// Auto-FuzzyJoin configuration space (Figure 2, "Pre-processing"):
+// lower-casing (L), stemming (S), and punctuation removal (RP), and the
+// four combinations used in the paper's experiments (Table 1):
+// L, L+S, L+RP, L+S+RP.
+package textproc
+
+import (
+	"strings"
+	"unicode"
+
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/stem"
+)
+
+// Option identifies one pre-processing pipeline.
+type Option uint8
+
+const (
+	// Lower applies lower-casing only (L).
+	Lower Option = iota
+	// LowerStem applies lower-casing then Porter stemming per word (L+S).
+	LowerStem
+	// LowerRemovePunct lower-cases and strips punctuation (L+RP).
+	LowerRemovePunct
+	// LowerStemRemovePunct applies all three (L+S+RP).
+	LowerStemRemovePunct
+	numOptions
+)
+
+// Options returns the four pre-processing pipelines of Table 1,
+// in a stable order.
+func Options() []Option {
+	return []Option{Lower, LowerStem, LowerRemovePunct, LowerStemRemovePunct}
+}
+
+// String returns the paper's abbreviation for the option.
+func (o Option) String() string {
+	switch o {
+	case Lower:
+		return "L"
+	case LowerStem:
+		return "L+S"
+	case LowerRemovePunct:
+		return "L+RP"
+	case LowerStemRemovePunct:
+		return "L+S+RP"
+	}
+	return "?"
+}
+
+// stems reports whether the pipeline includes Porter stemming.
+func (o Option) stems() bool { return o == LowerStem || o == LowerStemRemovePunct }
+
+// removesPunct reports whether the pipeline strips punctuation.
+func (o Option) removesPunct() bool {
+	return o == LowerRemovePunct || o == LowerStemRemovePunct
+}
+
+// Apply runs the pipeline on s and returns the processed string.
+// Whitespace runs are always collapsed to single spaces and the result is
+// trimmed, so that downstream tokenizers see canonical spacing.
+func (o Option) Apply(s string) string {
+	s = strings.ToLower(s)
+	if o.removesPunct() {
+		s = stripPunct(s)
+	}
+	if o.stems() {
+		s = stemWords(s)
+	}
+	return collapseSpaces(s)
+}
+
+// stripPunct replaces punctuation and symbol runes with spaces so that
+// "O'Brien-Smith" tokenizes as two words rather than fusing.
+func stripPunct(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for _, r := range s {
+		if unicode.IsPunct(r) || unicode.IsSymbol(r) {
+			b.WriteByte(' ')
+		} else {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// stemWords stems each whitespace-separated word.
+func stemWords(s string) string {
+	fields := strings.Fields(s)
+	for i, f := range fields {
+		fields[i] = stem.Stem(f)
+	}
+	return strings.Join(fields, " ")
+}
+
+// collapseSpaces collapses runs of whitespace into single spaces and trims.
+func collapseSpaces(s string) string {
+	return strings.Join(strings.Fields(s), " ")
+}

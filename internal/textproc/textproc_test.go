@@ -1,0 +1,98 @@
+package textproc
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOptionsCount(t *testing.T) {
+	if got := len(Options()); got != 4 {
+		t.Fatalf("Options() returned %d pipelines, want 4", got)
+	}
+}
+
+func TestLower(t *testing.T) {
+	got := Lower.Apply("2008 LSU Tigers  Football Team")
+	want := "2008 lsu tigers football team"
+	if got != want {
+		t.Errorf("Lower.Apply = %q, want %q", got, want)
+	}
+}
+
+func TestLowerRemovePunct(t *testing.T) {
+	got := LowerRemovePunct.Apply("St. Mary's (College), 2008!")
+	want := "st mary s college 2008"
+	if got != want {
+		t.Errorf("LowerRemovePunct.Apply = %q, want %q", got, want)
+	}
+}
+
+func TestLowerStem(t *testing.T) {
+	got := LowerStem.Apply("Tigers Football Teams")
+	want := "tiger footbal team"
+	if got != want {
+		t.Errorf("LowerStem.Apply = %q, want %q", got, want)
+	}
+}
+
+func TestLowerStemRemovePunct(t *testing.T) {
+	got := LowerStemRemovePunct.Apply("The Badgers' Seasons, 2007-2008")
+	if strings.ContainsAny(got, "',-") {
+		t.Errorf("punctuation survived: %q", got)
+	}
+	if strings.Contains(got, "seasons") {
+		t.Errorf("stemming did not run: %q", got)
+	}
+}
+
+func TestApplyIdempotent(t *testing.T) {
+	opts := Options()
+	f := func(s string) bool {
+		for _, o := range opts {
+			once := o.Apply(s)
+			twice := o.Apply(once)
+			if once != twice {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApplyProducesLowercaseNoDoubleSpace(t *testing.T) {
+	f := func(s string) bool {
+		for _, o := range Options() {
+			out := o.Apply(s)
+			if strings.Contains(out, "  ") {
+				return false
+			}
+			if out != strings.TrimSpace(out) {
+				return false
+			}
+			// Some Unicode code points are uppercase with no lowercase
+			// mapping; the guarantee we rely on is ASCII case-folding.
+			for _, r := range out {
+				if r >= 'A' && r <= 'Z' {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringNames(t *testing.T) {
+	want := map[Option]string{Lower: "L", LowerStem: "L+S", LowerRemovePunct: "L+RP", LowerStemRemovePunct: "L+S+RP"}
+	for o, w := range want {
+		if o.String() != w {
+			t.Errorf("%d.String() = %q, want %q", o, o.String(), w)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+// Package weights implements the token-weighting options of the
+// Auto-FuzzyJoin configuration space (Figure 2, "Token-weights"):
+// equal weights (EW) and inverse-document-frequency weights (IDFW).
+//
+// A weighting scheme turns the token multiset of a record into a weighted
+// vector consumed by the set-based distances. IDF statistics are computed
+// once per (table corpus, tokenization) pair and shared.
+package weights
+
+import "math"
+
+// Scheme identifies a token-weighting scheme.
+type Scheme uint8
+
+const (
+	// Equal gives every token occurrence weight 1 (EW).
+	Equal Scheme = iota
+	// IDF weighs each token by log(1 + N/df) over the corpus (IDFW).
+	IDF
+)
+
+// Options returns the weighting schemes of Table 1, in a stable order.
+func Options() []Scheme { return []Scheme{Equal, IDF} }
+
+// String returns the paper's abbreviation for the scheme.
+func (s Scheme) String() string {
+	if s == Equal {
+		return "EW"
+	}
+	return "IDFW"
+}
+
+// Stats holds corpus document frequencies for IDF weighting.
+type Stats struct {
+	docs int
+	df   map[string]int
+}
+
+// NewStats builds document-frequency statistics from a corpus of tokenized
+// documents. Each document contributes at most 1 to a token's df.
+func NewStats(docs [][]string) *Stats {
+	s := &Stats{docs: len(docs), df: make(map[string]int)}
+	seen := make(map[string]bool)
+	for _, d := range docs {
+		for k := range seen {
+			delete(seen, k)
+		}
+		for _, tok := range d {
+			if !seen[tok] {
+				seen[tok] = true
+				s.df[tok]++
+			}
+		}
+	}
+	return s
+}
+
+// Docs returns the number of documents the statistics were built from.
+func (s *Stats) Docs() int { return s.docs }
+
+// IDF returns log(1 + N/df) for the token. Unseen tokens get the maximal
+// weight log(1 + N), treating them as df=1... strictly df=1 gives
+// log(1+N); we use df=1 for unseen tokens, which keeps weights bounded and
+// favors rare tokens as the paper intends.
+func (s *Stats) IDF(token string) float64 {
+	df := s.df[token]
+	if df < 1 {
+		df = 1
+	}
+	n := s.docs
+	if n < 1 {
+		n = 1
+	}
+	return math.Log(1 + float64(n)/float64(df))
+}
+
+// Vector turns a token multiset into a weighted vector under the scheme.
+// Under Equal, a token occurring k times gets weight k; under IDF it gets
+// k * idf(token). stats may be nil for Equal.
+func (s Scheme) Vector(tokens []string, stats *Stats) map[string]float64 {
+	v := make(map[string]float64, len(tokens))
+	for _, t := range tokens {
+		v[t]++
+	}
+	if s == IDF && stats != nil {
+		for t := range v {
+			v[t] *= stats.IDF(t)
+		}
+	}
+	return v
+}

@@ -1,0 +1,76 @@
+package weights
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEqualVector(t *testing.T) {
+	v := Equal.Vector([]string{"a", "b", "a"}, nil)
+	if v["a"] != 2 || v["b"] != 1 {
+		t.Errorf("Equal.Vector = %v", v)
+	}
+}
+
+func TestIDFMonotonicInRarity(t *testing.T) {
+	docs := [][]string{
+		{"team", "football", "lsu"},
+		{"team", "football", "tigers"},
+		{"team", "baseball", "badgers"},
+		{"team", "hockey", "wolves"},
+	}
+	s := NewStats(docs)
+	if s.Docs() != 4 {
+		t.Fatalf("Docs = %d", s.Docs())
+	}
+	// df(team)=4, df(football)=2, df(lsu)=1
+	if !(s.IDF("team") < s.IDF("football") && s.IDF("football") < s.IDF("lsu")) {
+		t.Errorf("IDF not monotone: team=%f football=%f lsu=%f",
+			s.IDF("team"), s.IDF("football"), s.IDF("lsu"))
+	}
+	// exact: log(1 + 4/4) = log 2
+	if got := s.IDF("team"); math.Abs(got-math.Log(2)) > 1e-12 {
+		t.Errorf("IDF(team) = %f, want log 2", got)
+	}
+}
+
+func TestIDFDuplicateTokensInDocCountOnce(t *testing.T) {
+	s := NewStats([][]string{{"x", "x", "x"}, {"y"}})
+	// df(x) must be 1, not 3
+	if got, want := s.IDF("x"), math.Log(1+2.0/1); math.Abs(got-want) > 1e-12 {
+		t.Errorf("IDF(x) = %f, want %f", got, want)
+	}
+}
+
+func TestIDFUnseenToken(t *testing.T) {
+	s := NewStats([][]string{{"a"}, {"b"}})
+	if got, want := s.IDF("zzz"), math.Log(3); math.Abs(got-want) > 1e-12 {
+		t.Errorf("IDF(unseen) = %f, want log 3", got)
+	}
+}
+
+func TestIDFVector(t *testing.T) {
+	s := NewStats([][]string{{"a", "b"}, {"a"}})
+	v := IDF.Vector([]string{"a", "a", "b"}, s)
+	wantA := 2 * s.IDF("a")
+	wantB := 1 * s.IDF("b")
+	if math.Abs(v["a"]-wantA) > 1e-12 || math.Abs(v["b"]-wantB) > 1e-12 {
+		t.Errorf("IDF.Vector = %v, want a=%f b=%f", v, wantA, wantB)
+	}
+}
+
+func TestEmptyStats(t *testing.T) {
+	s := NewStats(nil)
+	if got := s.IDF("x"); math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Errorf("IDF on empty stats = %f", got)
+	}
+}
+
+func TestSchemeNames(t *testing.T) {
+	if Equal.String() != "EW" || IDF.String() != "IDFW" {
+		t.Error("scheme names wrong")
+	}
+	if len(Options()) != 2 {
+		t.Error("want 2 weighting options")
+	}
+}
