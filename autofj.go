@@ -19,6 +19,11 @@
 //	        right[j.Right], left[j.Left], j.Precision)
 //	}
 //	fmt.Println("program:", res.ProgramString())
+//
+// All entry points (Join, JoinMultiColumn, SelfJoin, Dedup) honor
+// Options.Parallelism: blocking and the distance pre-computation shard
+// across that many goroutines (0 means all CPUs, 1 forces sequential
+// execution), and every parallelism level produces identical output.
 package autofj
 
 import (

@@ -7,9 +7,13 @@ package autofj
 // suite runs in minutes; shapes, not absolute numbers, are the target.
 
 import (
+	"fmt"
+	"math/rand"
+	"runtime"
 	"testing"
 
 	"github.com/chu-data-lab/autofuzzyjoin-go/internal/benchgen"
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/blocking"
 	"github.com/chu-data-lab/autofuzzyjoin-go/internal/config"
 	"github.com/chu-data-lab/autofuzzyjoin-go/internal/core"
 	"github.com/chu-data-lab/autofuzzyjoin-go/internal/experiments"
@@ -335,6 +339,74 @@ func BenchmarkParallelism(b *testing.B) {
 	for _, p := range []int{1, 4} {
 		b.Run(map[int]string{1: "sequential", 4: "parallel4"}[p], func(b *testing.B) {
 			opt := core.Options{ThresholdSteps: 15, Parallelism: p}
+			for i := 0; i < b.N; i++ {
+				if _, err := core.JoinTables(left, right, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// blockingBenchTables synthesizes a ≥10k-record reference table and query
+// table for the blocking-layer benchmarks.
+func blockingBenchTables(nLeft, nRight int) (left, right []string) {
+	rng := rand.New(rand.NewSource(17))
+	adj := []string{"northern", "southern", "united", "royal", "national", "central",
+		"pacific", "metropolitan", "first", "imperial"}
+	noun := []string{"institute", "university", "museum", "society", "college",
+		"laboratory", "federation", "observatory", "council", "bureau"}
+	field := []string{"science", "history", "technology", "arts", "medicine",
+		"commerce", "astronomy", "agriculture"}
+	gen := func(n int) []string {
+		out := make([]string, n)
+		for i := range out {
+			out[i] = fmt.Sprintf("%s %s of %s %d", adj[rng.Intn(len(adj))],
+				noun[rng.Intn(len(noun))], field[rng.Intn(len(field))], rng.Intn(300))
+		}
+		return out
+	}
+	return gen(nLeft), gen(nRight)
+}
+
+// BenchmarkBlockingOnly times the blocking layer alone (index build plus
+// every L–R and L–L candidate query) on a 10k-record reference table,
+// sequential versus all-core.
+func BenchmarkBlockingOnly(b *testing.B) {
+	left, right := blockingBenchTables(10000, 2000)
+	ps := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		ps = append(ps, n)
+	}
+	for _, p := range ps {
+		name := "sequential"
+		if p != 1 {
+			name = fmt.Sprintf("parallel%d", p)
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				blocking.Block(left, right, blocking.DefaultBeta, p)
+			}
+		})
+	}
+}
+
+// BenchmarkBlockingEndToEnd times a full join whose blocking layer
+// dominates (large table, reduced space), sequential versus all-core.
+func BenchmarkBlockingEndToEnd(b *testing.B) {
+	left, right := blockingBenchTables(3000, 600)
+	ps := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		ps = append(ps, n)
+	}
+	for _, p := range ps {
+		name := "sequential"
+		if p != 1 {
+			name = fmt.Sprintf("parallel%d", p)
+		}
+		b.Run(name, func(b *testing.B) {
+			opt := core.Options{Space: config.ReducedSpace(), ThresholdSteps: 10, Parallelism: p}
 			for i := 0; i < b.N; i++ {
 				if _, err := core.JoinTables(left, right, opt); err != nil {
 					b.Fatal(err)

@@ -32,6 +32,7 @@ func main() {
 		steps     = flag.Int("steps", 50, "threshold discretization steps")
 		beta      = flag.Float64("beta", 1.0, "blocking factor")
 		reduced   = flag.Bool("reduced", false, "use the reduced 24-configuration space")
+		parallel  = flag.Int("parallelism", 0, "worker goroutines (0 = all CPUs, 1 = sequential)")
 		outPath   = flag.String("out", "", "output CSV (default stdout)")
 	)
 	flag.Parse()
@@ -46,6 +47,7 @@ func main() {
 		PrecisionTarget: *tau,
 		ThresholdSteps:  *steps,
 		BlockingBeta:    *beta,
+		Parallelism:     *parallel,
 	}
 	if *reduced {
 		opt.Space = autofj.ReducedSpace()

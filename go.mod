@@ -1,0 +1,3 @@
+module github.com/chu-data-lab/autofuzzyjoin-go
+
+go 1.24

@@ -28,8 +28,10 @@ func Candidates(left, right []string, beta float64) [][]int32 {
 	ix := blocking.NewIndex(left)
 	k := blocking.K(len(left), beta)
 	out := make([][]int32, len(right))
+	sc := ix.NewScratch()
+	var cands []blocking.Candidate
 	for j, r := range right {
-		cands := ix.TopK(r, k, -1)
+		cands = ix.AppendTopK(cands[:0], sc, r, k, -1)
 		ids := make([]int32, len(cands))
 		for ci, c := range cands {
 			ids[ci] = c.ID

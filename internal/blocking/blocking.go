@@ -8,13 +8,27 @@
 // The same index answers both L–R blocking (candidates for right records)
 // and L–L blocking (candidates for learning safe distances and negative
 // rules), which is how Algorithm 1 uses it.
+//
+// The query path is built for throughput: grams are interned to dense ids
+// at index time, each query scores into a reusable dense array guarded by
+// generation stamps (no per-query map), and top-k selection runs through a
+// bounded min-heap in O(n log k) instead of a full sort. Block and
+// BlockSelf shard queries across worker goroutines, each with its own
+// Scratch, so the hot loop is allocation-free after warmup and the output
+// is identical for every parallelism level.
 package blocking
 
 import (
 	"math"
+	"slices"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"unicode"
+	"unicode/utf8"
 
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/parallel"
 	"github.com/chu-data-lab/autofuzzyjoin-go/internal/tokenize"
 )
 
@@ -23,12 +37,18 @@ import (
 const DefaultBeta = 1.0
 
 // Index is an inverted 3-gram index over the left table with IDF weights.
+// Grams are interned: gramID maps each indexed gram to a dense id assigned
+// in lexicographic order, so sorting a query's gram ids reproduces the
+// lexicographic accumulation order and keeps scores bit-identical across
+// code paths.
 type Index struct {
 	n        int
-	postings map[string][]int32
-	idf      map[string]float64
-	// docGrams caches each left record's distinct gram set for self-queries.
-	docGrams [][]string
+	gramID   map[string]int32
+	postings [][]int32 // by gram id, left ids ascending
+	idf      []float64 // by gram id
+	// docGrams caches each left record's distinct gram ids (ascending) for
+	// self-queries.
+	docGrams [][]int32
 }
 
 // normalize lower-cases and collapses whitespace; blocking is deliberately
@@ -53,27 +73,56 @@ func grams(s string) []string {
 	return out
 }
 
-// NewIndex indexes the left table.
-func NewIndex(left []string) *Index {
+// NewIndex indexes the left table sequentially.
+func NewIndex(left []string) *Index { return NewIndexParallel(left, 1) }
+
+// NewIndexParallel indexes the left table, extracting record grams across
+// up to parallelism goroutines (0 means GOMAXPROCS).
+func NewIndexParallel(left []string, parallelism int) *Index {
+	docStrs := make([][]string, len(left))
+	parallel.Shard(len(left), parallel.Workers(parallelism, len(left)), func(_, start, end int) {
+		for i := start; i < end; i++ {
+			docStrs[i] = grams(left[i])
+		}
+	})
+
+	vocab := make(map[string]struct{})
+	for _, gs := range docStrs {
+		for _, g := range gs {
+			vocab[g] = struct{}{}
+		}
+	}
+	sorted := make([]string, 0, len(vocab))
+	for g := range vocab {
+		sorted = append(sorted, g)
+	}
+	sort.Strings(sorted)
+
 	ix := &Index{
 		n:        len(left),
-		postings: make(map[string][]int32),
-		idf:      make(map[string]float64),
-		docGrams: make([][]string, len(left)),
+		gramID:   make(map[string]int32, len(sorted)),
+		postings: make([][]int32, len(sorted)),
+		idf:      make([]float64, len(sorted)),
+		docGrams: make([][]int32, len(left)),
 	}
-	for i, s := range left {
-		gs := grams(s)
-		ix.docGrams[i] = gs
-		for _, g := range gs {
-			ix.postings[g] = append(ix.postings[g], int32(i))
+	for id, g := range sorted {
+		ix.gramID[g] = int32(id)
+	}
+	for i, gs := range docStrs {
+		ids := make([]int32, len(gs))
+		for gi, g := range gs {
+			id := ix.gramID[g]
+			ids[gi] = id
+			ix.postings[id] = append(ix.postings[id], int32(i))
 		}
+		ix.docGrams[i] = ids // ascending: gs is sorted and ids are lexicographic
 	}
 	n := float64(ix.n)
 	if n < 1 {
 		n = 1
 	}
-	for g, post := range ix.postings {
-		ix.idf[g] = math.Log(1 + n/float64(len(post)))
+	for id, post := range ix.postings {
+		ix.idf[id] = math.Log(1 + n/float64(len(post)))
 	}
 	return ix
 }
@@ -87,48 +136,214 @@ type Candidate struct {
 	Score float64
 }
 
-// TopK returns the ids of up to k left records with the largest summed IDF
-// weight of grams shared with the query, descending by score. exclude (an
-// index into the left table, or -1) is omitted from the result; use it for
-// L–L self-queries. Records sharing no gram with the query are never
-// returned.
-func (ix *Index) TopK(query string, k int, exclude int) []Candidate {
-	return ix.topK(grams(query), k, exclude)
+// Scratch holds the per-worker reusable state of the query path: the dense
+// score accumulator with its generation stamps, the gram-dedup stamps, the
+// top-k heap, and the normalization buffers. A Scratch is not safe for
+// concurrent use; give each goroutine its own via NewScratch.
+type Scratch struct {
+	gen       uint32
+	scores    []float64 // by left id
+	stamp     []uint32  // by left id; scores[id] is live iff stamp[id] == gen
+	gramStamp []uint32  // by gram id; query-local gram dedup
+	touched   []int32   // left ids scored by the current query
+	qids      []int32   // the current query's distinct gram ids
+	heap      []Candidate
+	buf       []byte  // normalized, padded query bytes
+	starts    []int32 // byte offset of each rune in buf, plus end sentinel
 }
 
-// TopKSelf returns the L–L candidates for left record i, excluding itself.
-func (ix *Index) TopKSelf(i, k int) []Candidate {
-	return ix.topK(ix.docGrams[i], k, i)
-}
-
-func (ix *Index) topK(queryGrams []string, k int, exclude int) []Candidate {
-	if k <= 0 || ix.n == 0 {
-		return nil
+// NewScratch allocates query state sized for this index.
+func (ix *Index) NewScratch() *Scratch {
+	return &Scratch{
+		scores:    make([]float64, ix.n),
+		stamp:     make([]uint32, ix.n),
+		gramStamp: make([]uint32, len(ix.idf)),
 	}
-	scores := make(map[int32]float64)
-	for _, g := range queryGrams {
+}
+
+// nextGen advances the generation stamp, invalidating all dense entries in
+// O(1). On the (astronomically rare) wraparound the stamp arrays are
+// cleared so stale generations can never alias.
+func (sc *Scratch) nextGen() uint32 {
+	sc.gen++
+	if sc.gen == 0 {
+		clear(sc.stamp)
+		clear(sc.gramStamp)
+		sc.gen = 1
+	}
+	return sc.gen
+}
+
+// queryGramIDs extracts the distinct indexed gram ids of query, ascending,
+// into sc.qids. Grams absent from the index carry zero weight and empty
+// postings, so they are skipped outright. Allocation-free after warmup:
+// the map lookup on a byte-slice conversion does not escape.
+func (ix *Index) queryGramIDs(sc *Scratch, query string) []int32 {
+	sc.qids = sc.qids[:0]
+	sc.buf = append(sc.buf[:0], '#', '#')
+	sc.starts = append(sc.starts[:0], 0, 1)
+	// Inline normalize(): per-rune lower-casing with whitespace collapsed
+	// to single spaces, matching strings.Fields/ToLower semantics.
+	content := false
+	pendingSpace := false
+	for _, r := range query {
+		r = unicode.ToLower(r)
+		if unicode.IsSpace(r) {
+			pendingSpace = content
+			continue
+		}
+		if pendingSpace {
+			sc.starts = append(sc.starts, int32(len(sc.buf)))
+			sc.buf = append(sc.buf, ' ')
+			pendingSpace = false
+		}
+		sc.starts = append(sc.starts, int32(len(sc.buf)))
+		sc.buf = utf8.AppendRune(sc.buf, r)
+		content = true
+	}
+	if !content {
+		return nil // QGrams("") is empty: padding alone yields no grams
+	}
+	sc.starts = append(sc.starts, int32(len(sc.buf)), int32(len(sc.buf)+1))
+	sc.buf = append(sc.buf, '#', '#')
+	sc.starts = append(sc.starts, int32(len(sc.buf))) // end sentinel
+	gen := sc.nextGen()
+	for i := 0; i+3 < len(sc.starts); i++ {
+		id, ok := ix.gramID[string(sc.buf[sc.starts[i]:sc.starts[i+3]])]
+		if !ok || sc.gramStamp[id] == gen {
+			continue
+		}
+		sc.gramStamp[id] = gen
+		sc.qids = append(sc.qids, id)
+	}
+	slices.Sort(sc.qids)
+	return sc.qids
+}
+
+// candWorse reports whether a ranks strictly worse than b in the
+// (score descending, id ascending) candidate order.
+func candWorse(a, b Candidate) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.ID > b.ID
+}
+
+// heapUp/heapDown maintain a min-heap whose root is the worst candidate
+// currently kept.
+func heapUp(h []Candidate, i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !candWorse(h[i], h[p]) {
+			return
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+func heapDown(h []Candidate, i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		m := l
+		if r := l + 1; r < len(h) && candWorse(h[r], h[l]) {
+			m = r
+		}
+		if !candWorse(h[m], h[i]) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// appendTopK scores the query grams and appends the top k candidates to
+// dst (score descending, id ascending). The accumulation order — gram ids
+// ascending, postings ascending — is fixed, so results are bit-identical
+// regardless of worker count.
+func (ix *Index) appendTopK(dst []Candidate, sc *Scratch, qids []int32, k, exclude int) []Candidate {
+	if k <= 0 || ix.n == 0 || len(qids) == 0 {
+		return dst
+	}
+	gen := sc.nextGen()
+	touched := sc.touched[:0]
+	for _, g := range qids {
 		w := ix.idf[g]
 		for _, id := range ix.postings[g] {
 			if int(id) == exclude {
 				continue
 			}
-			scores[id] += w
+			if sc.stamp[id] != gen {
+				sc.stamp[id] = gen
+				sc.scores[id] = w
+				touched = append(touched, id)
+			} else {
+				sc.scores[id] += w
+			}
 		}
 	}
-	cands := make([]Candidate, 0, len(scores))
-	for id, sc := range scores {
-		cands = append(cands, Candidate{ID: id, Score: sc})
-	}
-	sort.Slice(cands, func(a, b int) bool {
-		if cands[a].Score != cands[b].Score {
-			return cands[a].Score > cands[b].Score
+	sc.touched = touched
+	h := sc.heap[:0]
+	for _, id := range touched {
+		c := Candidate{ID: id, Score: sc.scores[id]}
+		if len(h) < k {
+			h = append(h, c)
+			heapUp(h, len(h)-1)
+		} else if candWorse(h[0], c) {
+			h[0] = c
+			heapDown(h, 0)
 		}
-		return cands[a].ID < cands[b].ID
-	})
-	if len(cands) > k {
-		cands = cands[:k]
 	}
-	return cands
+	sc.heap = h
+	base := len(dst)
+	dst = append(dst, h...)
+	slices.SortFunc(dst[base:], cmpCandidate)
+	return dst
+}
+
+// cmpCandidate orders candidates score descending, id ascending.
+func cmpCandidate(a, b Candidate) int {
+	switch {
+	case a.Score > b.Score:
+		return -1
+	case a.Score < b.Score:
+		return 1
+	case a.ID < b.ID:
+		return -1
+	case a.ID > b.ID:
+		return 1
+	}
+	return 0
+}
+
+// AppendTopK appends up to k candidates for query to dst, reusing sc.
+// Allocation-free after warmup when dst has capacity.
+func (ix *Index) AppendTopK(dst []Candidate, sc *Scratch, query string, k, exclude int) []Candidate {
+	return ix.appendTopK(dst, sc, ix.queryGramIDs(sc, query), k, exclude)
+}
+
+// AppendTopKSelf appends the L–L candidates for left record i to dst,
+// excluding i itself, reusing sc.
+func (ix *Index) AppendTopKSelf(dst []Candidate, sc *Scratch, i, k int) []Candidate {
+	return ix.appendTopK(dst, sc, ix.docGrams[i], k, i)
+}
+
+// TopK returns the ids of up to k left records with the largest summed IDF
+// weight of grams shared with the query, descending by score. exclude (an
+// index into the left table, or -1) is omitted from the result; use it for
+// L–L self-queries. Records sharing no gram with the query are never
+// returned. This convenience form allocates a Scratch per call; batch
+// callers should hold one Scratch per worker and use AppendTopK.
+func (ix *Index) TopK(query string, k int, exclude int) []Candidate {
+	return ix.AppendTopK(nil, ix.NewScratch(), query, k, exclude)
+}
+
+// TopKSelf returns the L–L candidates for left record i, excluding itself.
+func (ix *Index) TopKSelf(i, k int) []Candidate {
+	return ix.AppendTopKSelf(nil, ix.NewScratch(), i, k)
 }
 
 // K returns the paper's candidate-list size ⌈β·√|L|⌉, at least 1.
@@ -156,20 +371,103 @@ type Result struct {
 	K int
 }
 
-// Block runs the default blocking for tables L and R with factor beta.
-func Block(left, right []string, beta float64) *Result {
-	ix := NewIndex(left)
+// blockChunk is the work-stealing granularity of Block: small enough to
+// balance skewed record lengths, large enough to amortize the atomic.
+const blockChunk = 64
+
+// arenaChunk is the minimum candidate-arena allocation, amortizing result
+// storage across many queries.
+const arenaChunk = 8192
+
+// runQueries distributes jobs [0, n) across workers, each with its own
+// Scratch and candidate arena, and stores each job's candidate list via
+// emit. Job results land at fixed indexes, so the output is independent of
+// scheduling.
+func (ix *Index) runQueries(n, parallelism, k int, fill func(sc *Scratch, dst []Candidate, job int) []Candidate, emit func(job int, cands []Candidate)) {
+	// A worker per chunk, not per job: each worker allocates an O(|L|)
+	// Scratch, so surplus workers beyond the chunk count would pay that
+	// for no work.
+	workers := parallel.Workers(parallelism, (n+blockChunk-1)/blockChunk)
+	var next atomic.Int64
+	worker := func() {
+		sc := ix.NewScratch()
+		var arena []Candidate
+		for {
+			c := int(next.Add(1) - 1)
+			start := c * blockChunk
+			if start >= n {
+				return
+			}
+			end := min(start+blockChunk, n)
+			for job := start; job < end; job++ {
+				if cap(arena)-len(arena) < k {
+					arena = make([]Candidate, 0, max(arenaChunk, k))
+				}
+				base := len(arena)
+				arena = fill(sc, arena, job)
+				emit(job, arena[base:len(arena):len(arena)])
+			}
+		}
+	}
+	if workers <= 1 {
+		worker()
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			worker()
+		}()
+	}
+	wg.Wait()
+}
+
+// Block runs the default blocking for tables L and R with factor beta,
+// fanning the per-record queries across up to parallelism goroutines
+// (0 means GOMAXPROCS). The candidate lists are identical for every
+// parallelism level.
+func Block(left, right []string, beta float64, parallelism int) *Result {
+	ix := NewIndexParallel(left, parallelism)
 	k := K(len(left), beta)
 	res := &Result{
 		LR: make([][]Candidate, len(right)),
 		LL: make([][]Candidate, len(left)),
 		K:  k,
 	}
-	for j, r := range right {
-		res.LR[j] = ix.TopK(r, k, -1)
+	// One job space covers both query kinds: right records first, then the
+	// left self-queries.
+	ix.runQueries(len(right)+len(left), parallelism, k,
+		func(sc *Scratch, dst []Candidate, job int) []Candidate {
+			if job < len(right) {
+				return ix.AppendTopK(dst, sc, right[job], k, -1)
+			}
+			return ix.AppendTopKSelf(dst, sc, job-len(right), k)
+		},
+		func(job int, cands []Candidate) {
+			if job < len(right) {
+				res.LR[job] = cands
+			} else {
+				res.LL[job-len(right)] = cands
+			}
+		})
+	return res
+}
+
+// BlockSelf runs L–L blocking only (the self-join path): LL[i] lists the
+// candidates for record i with itself excluded; LR is nil.
+func BlockSelf(records []string, beta float64, parallelism int) *Result {
+	ix := NewIndexParallel(records, parallelism)
+	k := K(len(records), beta)
+	res := &Result{
+		LL: make([][]Candidate, len(records)),
+		K:  k,
 	}
-	for i := range left {
-		res.LL[i] = ix.TopKSelf(i, k)
-	}
+	ix.runQueries(len(records), parallelism, k,
+		func(sc *Scratch, dst []Candidate, job int) []Candidate {
+			return ix.AppendTopKSelf(dst, sc, job, k)
+		},
+		func(job int, cands []Candidate) { res.LL[job] = cands })
 	return res
 }

@@ -84,7 +84,7 @@ func TestBlockShapes(t *testing.T) {
 	for j := range right {
 		right[j] = fmt.Sprintf("entity number %d of the reference", j)
 	}
-	res := Block(left, right, 1.0)
+	res := Block(left, right, 1.0, 1)
 	if res.K != 5 {
 		t.Errorf("K = %d, want 5 (sqrt 25)", res.K)
 	}
@@ -123,11 +123,11 @@ func TestScoresDescending(t *testing.T) {
 }
 
 func TestEmptyInputs(t *testing.T) {
-	res := Block(nil, []string{"x"}, 1.0)
+	res := Block(nil, []string{"x"}, 1.0, 0)
 	if len(res.LR) != 1 || len(res.LR[0]) != 0 {
 		t.Errorf("blocking against empty L: %v", res.LR)
 	}
-	res = Block([]string{"x"}, nil, 1.0)
+	res = Block([]string{"x"}, nil, 1.0, 0)
 	if len(res.LR) != 0 || len(res.LL) != 1 {
 		t.Errorf("blocking empty R: %+v", res)
 	}

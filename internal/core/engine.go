@@ -2,13 +2,13 @@ package core
 
 import (
 	"math"
-	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"github.com/chu-data-lab/autofuzzyjoin-go/internal/config"
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/parallel"
 )
 
 // unjoinableDist is the sentinel above which a candidate distance is
@@ -68,25 +68,42 @@ type preparedFn struct {
 }
 
 // prepare runs the distance computation and precision pre-computation for
-// every function in the space, fanning out across CPUs (each function's
-// pre-computation is independent). Functions with no joinable pair are nil.
+// every function in the space, fanning out across CPUs. Parallelism is
+// two-level: up to parallelism workers each take whole functions (their
+// pre-computations are independent), and any spare capacity — a space
+// smaller than the worker budget, e.g. a single-function or reduced-space
+// run, or a budget that does not divide evenly — is pushed down into each
+// prepareFn as intra-function sharding over right records and ball
+// centers (the first parallelism%outer workers carry the remainder).
+// Functions with no joinable pair are nil. The output is bit-identical
+// for every parallelism level.
 func prepare(in *engineInput, parallelism int) []*preparedFn {
 	fns := make([]*preparedFn, len(in.space))
-	if parallelism <= 0 {
-		parallelism = runtime.GOMAXPROCS(0)
+	if len(in.space) == 0 {
+		return fns
 	}
-	if parallelism > len(in.space) {
-		parallelism = len(in.space)
+	parallelism = parallel.Resolve(parallelism)
+	outer := parallelism
+	if outer > len(in.space) {
+		outer = len(in.space)
 	}
-	if parallelism <= 1 {
+	if outer < 1 {
+		outer = 1
+	}
+	inner, extra := parallelism/outer, parallelism%outer
+	if outer <= 1 {
 		for fi := range in.space {
-			fns[fi] = prepareFn(in, fi)
+			fns[fi] = prepareFn(in, fi, inner)
 		}
 		return fns
 	}
 	var next int64 = -1
 	var wg sync.WaitGroup
-	for w := 0; w < parallelism; w++ {
+	for w := 0; w < outer; w++ {
+		innerW := inner
+		if w < extra {
+			innerW++
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -95,7 +112,7 @@ func prepare(in *engineInput, parallelism int) []*preparedFn {
 				if fi >= len(in.space) {
 					return
 				}
-				fns[fi] = prepareFn(in, fi)
+				fns[fi] = prepareFn(in, fi, innerW)
 			}
 		}()
 	}
@@ -103,7 +120,12 @@ func prepare(in *engineInput, parallelism int) []*preparedFn {
 	return fns
 }
 
-func prepareFn(in *engineInput, fi int) *preparedFn {
+// prepareFn pre-computes one function with up to workers goroutines for
+// its distance loops. The expensive phases — the per-right-record closest-
+// candidate scan and the L–L ball construction — shard across workers over
+// disjoint index ranges; the cheap counting phase stays sequential so the
+// floating-point accumulation order (ascending r) never changes.
+func prepareFn(in *engineInput, fi, workers int) *preparedFn {
 	s := in.steps
 	fn := &preparedFn{
 		bestL:    make([]int32, in.nR),
@@ -113,23 +135,38 @@ func prepareFn(in *engineInput, fi int) *preparedFn {
 		totalP:   make([]float64, s),
 		totalCnt: make([]int, s),
 	}
-	dCap := 0.0
-	anyJoinable := false
-	for r := 0; r < in.nR; r++ {
-		fn.bestL[r] = -1
-		fn.bestD[r] = math.Inf(1)
-		fn.kMin[r] = int32(s)
-		for ci := range in.lrCand[r] {
-			if d := in.lrDist(fi, r, ci); d < fn.bestD[r] {
-				fn.bestD[r] = d
-				fn.bestL[r] = in.lrCand[r][ci]
+	if workers < 1 {
+		workers = 1
+	}
+	// Phase 1: closest candidate per right record. Rows are independent;
+	// per-worker maxima merge exactly because max is order-free.
+	caps := make([]float64, max(workers, 1))
+	joins := make([]bool, max(workers, 1))
+	parallel.Shard(in.nR, workers, func(w, start, end int) {
+		for r := start; r < end; r++ {
+			fn.bestL[r] = -1
+			fn.bestD[r] = math.Inf(1)
+			fn.kMin[r] = int32(s)
+			for ci := range in.lrCand[r] {
+				if d := in.lrDist(fi, r, ci); d < fn.bestD[r] {
+					fn.bestD[r] = d
+					fn.bestL[r] = in.lrCand[r][ci]
+				}
+			}
+			if fn.bestL[r] >= 0 && fn.bestD[r] < unjoinableDist {
+				joins[w] = true
+				if fn.bestD[r] > caps[w] {
+					caps[w] = fn.bestD[r]
+				}
 			}
 		}
-		if fn.bestL[r] >= 0 && fn.bestD[r] < unjoinableDist {
-			anyJoinable = true
-			if fn.bestD[r] > dCap {
-				dCap = fn.bestD[r]
-			}
+	})
+	dCap := 0.0
+	anyJoinable := false
+	for w := range caps {
+		anyJoinable = anyJoinable || joins[w]
+		if caps[w] > dCap {
+			dCap = caps[w]
 		}
 	}
 	if !anyJoinable {
@@ -139,21 +176,9 @@ func prepareFn(in *engineInput, fi int) *preparedFn {
 	for k := 0; k < s; k++ {
 		fn.thresholds[k] = dCap * float64(k+1) / float64(s)
 	}
-	// Sorted L-L ball distances, computed lazily per needed left record.
-	balls := make(map[int32][]float64)
-	ballFor := func(l int32) []float64 {
-		if b, ok := balls[l]; ok {
-			return b
-		}
-		cands := in.llCand[l]
-		b := make([]float64, len(cands))
-		for ci := range cands {
-			b[ci] = in.llDist(fi, int(l), ci)
-		}
-		sort.Float64s(b)
-		balls[l] = b
-		return b
-	}
+	// Phase 2 (cheap, sequential): grid position of every joinable row and
+	// the set of ball centers the estimates will need.
+	needBall := make([]bool, in.nL)
 	for r := 0; r < in.nR; r++ {
 		d := fn.bestD[r]
 		if fn.bestL[r] < 0 || d >= unjoinableDist {
@@ -174,7 +199,49 @@ func prepareFn(in *engineInput, fi int) *preparedFn {
 			continue
 		}
 		fn.kMin[r] = kMin
-		ball := ballFor(fn.bestL[r])
+		needBall[fn.bestL[r]] = true
+		fn.joinable = append(fn.joinable, int32(r))
+	}
+	if len(fn.joinable) == 0 {
+		return nil
+	}
+	// Phase 3: sorted L–L ball distances for every needed center, sharded
+	// across workers into one flat arena (no per-center allocation).
+	centers := make([]int32, 0, len(fn.joinable))
+	ballOf := make([]int32, in.nL)
+	for l := range needBall {
+		if needBall[l] {
+			ballOf[l] = int32(len(centers))
+			centers = append(centers, int32(l))
+		}
+	}
+	ballOff := make([]int32, len(centers)+1)
+	for i, l := range centers {
+		ballOff[i+1] = ballOff[i] + int32(len(in.llCand[l]))
+	}
+	ballArena := make([]float64, ballOff[len(centers)])
+	parallel.Shard(len(centers), workers, func(_, start, end int) {
+		for i := start; i < end; i++ {
+			l := centers[i]
+			seg := ballArena[ballOff[i]:ballOff[i+1]]
+			for ci := range seg {
+				seg[ci] = in.llDist(fi, int(l), ci)
+			}
+			sort.Float64s(seg)
+		}
+	})
+	// Phase 4 (sequential, ascending r): 2θ-ball counts and the totals
+	// behind the O(1) profit lookups. One arena backs every row's counts.
+	cntArena := make([]uint8, s*len(fn.joinable))
+	factor := in.ballFactor
+	if factor <= 0 {
+		factor = 2
+	}
+	for ji, r32 := range fn.joinable {
+		r := int(r32)
+		kMin := fn.kMin[r]
+		bc := ballOf[fn.bestL[r]]
+		ball := ballArena[ballOff[bc]:ballOff[bc+1]]
 		// In self-join mode the query record r is itself in the reference
 		// table; since θ_k >= d it always falls inside the ball and must
 		// be discounted when it is among l's blocked candidates.
@@ -187,11 +254,7 @@ func prepareFn(in *engineInput, fi int) *preparedFn {
 				}
 			}
 		}
-		factor := in.ballFactor
-		if factor <= 0 {
-			factor = 2
-		}
-		counts := make([]uint8, s)
+		counts := cntArena[ji*s : (ji+1)*s : (ji+1)*s]
 		bi := 0
 		for k := int(kMin); k < s; k++ {
 			radius := factor * fn.thresholds[k]
@@ -210,10 +273,6 @@ func prepareFn(in *engineInput, fi int) *preparedFn {
 			fn.totalCnt[k]++
 		}
 		fn.cnt[r] = counts
-		fn.joinable = append(fn.joinable, int32(r))
-	}
-	if len(fn.joinable) == 0 {
-		return nil
 	}
 	sort.Slice(fn.joinable, func(a, b int) bool {
 		return fn.kMin[fn.joinable[a]] < fn.kMin[fn.joinable[b]]
@@ -397,6 +456,7 @@ func addConfig(in *engineInput, fn *preparedFn, fi, k, iter int, out *engineOut,
 				out.assignedL[r] = fn.bestL[r]
 				out.assignedD[r] = fn.bestD[r]
 				out.assignedCfg[r] = cfgIdx
+				out.assignedIter[r] = int32(iter)
 			}
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"github.com/chu-data-lab/autofuzzyjoin-go/internal/blocking"
 	"github.com/chu-data-lab/autofuzzyjoin-go/internal/config"
 	"github.com/chu-data-lab/autofuzzyjoin-go/internal/negrule"
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/parallel"
 )
 
 // columnTensors holds, for one column, the per-function distances of every
@@ -46,7 +47,7 @@ func JoinMultiColumnTables(leftCols, rightCols [][]string, opt Options) (*Result
 	// they need no configuration, exactly like the single-column default.
 	leftCat := concatColumns(leftCols)
 	rightCat := concatColumns(rightCols)
-	blk := blocking.Block(leftCat, rightCat, opt.BlockingBeta)
+	blk := blocking.Block(leftCat, rightCat, opt.BlockingBeta, opt.Parallelism)
 
 	var rules *negrule.Set
 	llCand := make([][]int32, nL)
@@ -85,7 +86,7 @@ func JoinMultiColumnTables(leftCols, rightCols [][]string, opt Options) (*Result
 	// function, computed once and reused across the weight search.
 	tensors := make([]*columnTensors, m)
 	for j := 0; j < m; j++ {
-		tensors[j] = buildColumnTensors(opt.Space, leftCols[j], rightCols[j], lrCand, llCand, lrOff, llOff)
+		tensors[j] = buildColumnTensors(opt.Space, leftCols[j], rightCols[j], lrCand, llCand, lrOff, llOff, opt.Parallelism)
 	}
 
 	// weighted runs Algorithm 1 on the weighted combination of columns.
@@ -208,9 +209,10 @@ func JoinMultiColumnTables(leftCols, rightCols [][]string, opt Options) (*Result
 }
 
 // buildColumnTensors evaluates every join function on every blocked pair of
-// one column. Two empty cells compare at maximal distance (missing-value
-// convention of §5.2.2).
-func buildColumnTensors(space []config.JoinFunction, lcol, rcol []string, lrCand, llCand [][]int32, lrOff, llOff []int32) *columnTensors {
+// one column, fanning functions across up to parallelism goroutines
+// (0 means GOMAXPROCS). Two empty cells compare at maximal distance
+// (missing-value convention of §5.2.2).
+func buildColumnTensors(space []config.JoinFunction, lcol, rcol []string, lrCand, llCand [][]int32, lrOff, llOff []int32, parallelism int) *columnTensors {
 	corpus := config.NewCorpus(space, lcol, rcol)
 	profL := corpus.Profiles(lcol)
 	profR := corpus.Profiles(rcol)
@@ -220,32 +222,35 @@ func buildColumnTensors(space []config.JoinFunction, lcol, rcol []string, lrCand
 		lr: make([][]float32, len(space)),
 		ll: make([][]float32, len(space)),
 	}
-	for fi, f := range space {
-		lr := make([]float32, nLR)
-		for r := range lrCand {
-			base := int(lrOff[r])
-			for ci, l := range lrCand[r] {
-				if lcol[l] == "" && rcol[r] == "" {
-					lr[base+ci] = 1
-					continue
+	parallel.Shard(len(space), parallel.Workers(parallelism, len(space)), func(_, start, end int) {
+		for fi := start; fi < end; fi++ {
+			f := space[fi]
+			lr := make([]float32, nLR)
+			for r := range lrCand {
+				base := int(lrOff[r])
+				for ci, l := range lrCand[r] {
+					if lcol[l] == "" && rcol[r] == "" {
+						lr[base+ci] = 1
+						continue
+					}
+					lr[base+ci] = float32(f.Distance(profL[l], profR[r]))
 				}
-				lr[base+ci] = float32(f.Distance(profL[l], profR[r]))
 			}
-		}
-		ll := make([]float32, nLL)
-		for l := range llCand {
-			base := int(llOff[l])
-			for ci, l2 := range llCand[l] {
-				if lcol[l] == "" && lcol[l2] == "" {
-					ll[base+ci] = 1
-					continue
+			ll := make([]float32, nLL)
+			for l := range llCand {
+				base := int(llOff[l])
+				for ci, l2 := range llCand[l] {
+					if lcol[l] == "" && lcol[l2] == "" {
+						ll[base+ci] = 1
+						continue
+					}
+					ll[base+ci] = float32(f.Distance(profL[l], profL[l2]))
 				}
-				ll[base+ci] = float32(f.Distance(profL[l], profL[l2]))
 			}
+			t.lr[fi] = lr
+			t.ll[fi] = ll
 		}
-		t.lr[fi] = lr
-		t.ll[fi] = ll
-	}
+	})
 	return t
 }
 

@@ -44,8 +44,15 @@ type Options struct {
 	// WeightSteps is g, the discretization of column weights in the
 	// multi-column search (Algorithm 3).
 	WeightSteps int
-	// Parallelism bounds the worker goroutines of the per-function
-	// pre-computation; 0 uses GOMAXPROCS, 1 forces sequential execution.
+	// Parallelism bounds the worker goroutines across the whole join path:
+	// blocking (index build and per-record candidate queries), the
+	// per-function distance pre-computation with its intra-function
+	// sharding of right-record scans and L–L ball construction, and the
+	// multi-column tensor build. 0 uses GOMAXPROCS, 1 forces sequential
+	// execution. Every parallelism level produces identical output — work
+	// is sharded over disjoint index ranges and merged order-free, so
+	// results are bit-for-bit reproducible. JoinTables,
+	// JoinMultiColumnTables, SelfJoin, and Dedup all honor this knob.
 	Parallelism int
 	// BallRadiusFactor scales the precision-estimation ball: a join at
 	// distance d is judged by the reference records within

@@ -249,8 +249,10 @@ func (p *Program) apply(leftKey, rightKey []string,
 	}
 
 	var out []Join
+	sc := ix.NewScratch()
+	var cands []blocking.Candidate
 	for r := range rightKey {
-		cands := ix.TopK(rightKey[r], k, -1)
+		cands = ix.AppendTopK(cands[:0], sc, rightKey[r], k, -1)
 		bestCfg, bestL := -1, int32(-1)
 		bestScore := 2.0 // threshold-normalized distance; lower is better
 		bestDist := 0.0

@@ -24,11 +24,9 @@ func SelfJoin(records []string, opt Options) (*Result, error) {
 	}
 
 	tBlock := time.Now()
-	ix := blocking.NewIndex(records)
-	k := blocking.K(len(records), opt.BlockingBeta)
+	blk := blocking.BlockSelf(records, opt.BlockingBeta, opt.Parallelism)
 	cand := make([][]int32, len(records))
-	for i := range records {
-		cs := ix.TopKSelf(i, k)
+	for i, cs := range blk.LL {
 		ids := make([]int32, len(cs))
 		for ci, c := range cs {
 			ids[ci] = c.ID

@@ -23,7 +23,7 @@ func JoinTables(left, right []string, opt Options) (*Result, error) {
 
 	// Algorithm 1 line 1: blocking for L-L and L-R pairs.
 	tBlock := time.Now()
-	blk := blocking.Block(left, right, opt.BlockingBeta)
+	blk := blocking.Block(left, right, opt.BlockingBeta, opt.Parallelism)
 
 	// Line 2: learn negative rules from L-L pairs, veto L-R candidates.
 	var rules *negrule.Set

@@ -1,0 +1,58 @@
+// Package parallel holds the tiny worker-pool primitives shared by the
+// blocking layer and the core engine, so the parallelism-knob semantics
+// (0 means GOMAXPROCS, 1 forces sequential) and the contiguous-range
+// sharding formula live in exactly one place.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Resolve maps the Options.Parallelism convention onto a worker count:
+// 0 (or negative) means GOMAXPROCS.
+func Resolve(parallelism int) int {
+	if parallelism <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return parallelism
+}
+
+// Workers resolves a parallelism knob against a job count: never more
+// than one worker per job, at least one worker.
+func Workers(parallelism, jobs int) int {
+	w := Resolve(parallelism)
+	if w > jobs {
+		w = jobs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Shard splits [0, n) into one contiguous range per worker and runs body
+// on each, inline when a single worker suffices. body receives the worker
+// index so callers can keep per-worker state without sharing.
+func Shard(n, workers int, body func(w, start, end int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		body(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		start, end := n*w/workers, n*(w+1)/workers
+		if start == end {
+			continue
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body(w, start, end)
+		}()
+	}
+	wg.Wait()
+}

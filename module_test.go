@@ -1,0 +1,36 @@
+package autofj
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// modulePath is the import prefix every package in this repository uses;
+// go.mod must declare exactly this module or the build breaks (the seed
+// shipped without a go.mod at all).
+const modulePath = "github.com/chu-data-lab/autofuzzyjoin-go"
+
+func TestModulePathMatchesImports(t *testing.T) {
+	data, err := os.ReadFile("go.mod")
+	if err != nil {
+		t.Fatalf("go.mod missing: %v", err)
+	}
+	lines := strings.Split(string(data), "\n")
+	if len(lines) == 0 || !strings.HasPrefix(lines[0], "module ") {
+		t.Fatalf("go.mod does not start with a module directive: %q", lines[0])
+	}
+	if got := strings.TrimSpace(strings.TrimPrefix(lines[0], "module ")); got != modulePath {
+		t.Fatalf("module path %q does not match the import prefix %q used throughout", got, modulePath)
+	}
+	declaresGo := false
+	for _, l := range lines {
+		if strings.HasPrefix(strings.TrimSpace(l), "go ") {
+			declaresGo = true
+			break
+		}
+	}
+	if !declaresGo {
+		t.Error("go.mod has no go directive")
+	}
+}
