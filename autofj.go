@@ -10,20 +10,45 @@
 // the reference table, and greedily selects a union of configurations that
 // maximizes recall subject to the precision target.
 //
-// Quick start:
+// The API is two-phase — learn once, serve many:
+//
+//	res, matcher, err := autofj.Learn(left, right, autofj.Options{PrecisionTarget: 0.9})
+//	if err != nil { ... }
+//	fmt.Println("program:", res.ProgramString())
+//
+//	m, ok, err := matcher.Match(ctx, "2008 wisconsin badgers football")
+//	if ok {
+//	    fmt.Printf("-> %s (est. precision %.2f)\n", left[m.Left], m.Precision)
+//	}
+//
+// Learn runs the configuration search (the expensive part) and compiles
+// the selected program into a Matcher: an immutable, goroutine-safe
+// serving handle with the blocking index, record profiles, and negative
+// rules prepared exactly once. Queries then run as cheap repeated calls —
+// Matcher.Match for one record, Matcher.MatchBatch for a table (sharded
+// by Options.Parallelism), and Matcher.MatchStream for pipelined
+// workloads — all context-aware and bit-identical to re-applying the
+// program from scratch.
+//
+// The learned program is also a portable artifact: save it with
+// Result.ToProgram and Program.Encode, restore it with LoadProgram, and
+// rebuild a serving handle on any process with Program.Compile (or
+// CompileMultiColumn). Program.Apply remains as a convenience that
+// compiles and matches in one call.
+//
+// One-shot, table-at-a-time joins are still available:
 //
 //	res, err := autofj.Join(left, right, autofj.Options{PrecisionTarget: 0.9})
-//	if err != nil { ... }
 //	for _, j := range res.Joins {
 //	    fmt.Printf("%s -> %s (est. precision %.2f)\n",
 //	        right[j.Right], left[j.Left], j.Precision)
 //	}
-//	fmt.Println("program:", res.ProgramString())
 //
-// All entry points (Join, JoinMultiColumn, SelfJoin, Dedup) honor
-// Options.Parallelism: blocking and the distance pre-computation shard
-// across that many goroutines (0 means all CPUs, 1 forces sequential
-// execution), and every parallelism level produces identical output.
+// All entry points (Learn, Join, JoinMultiColumn, SelfJoin, Dedup) honor
+// Options.Parallelism: blocking, the distance pre-computation, matcher
+// compilation, and batch matching shard across that many goroutines
+// (0 means all CPUs, 1 forces sequential execution), and every
+// parallelism level produces identical output.
 package autofj
 
 import (
@@ -49,6 +74,51 @@ type JoinPair = core.Join
 // JoinFunction is one point of the (pre-processing, tokenization,
 // token-weights, distance) space.
 type JoinFunction = config.JoinFunction
+
+// Matcher is a join program compiled against a fixed reference table: an
+// immutable, goroutine-safe serving handle whose blocking index, record
+// profiles, and negative rules are built exactly once, so queries are
+// cheap repeatable calls (Match, MatchBatch, MatchRow, MatchRows,
+// MatchStream) instead of the rebuild-per-call of Program.Apply.
+type Matcher = core.Matcher
+
+// Match is the outcome of matching one query record against a Matcher.
+type Match = core.Match
+
+// StreamMatch is one element of a Matcher.MatchStream.
+type StreamMatch = core.StreamMatch
+
+// Learn runs single-column Auto-FuzzyJoin and compiles the learned
+// program into a serving Matcher in one step: the Result carries the
+// explainable program and the training-time joins, and the Matcher
+// answers future queries against left without re-learning. This is the
+// recommended deployment entry point.
+func Learn(left, right []string, opt Options) (*Result, *Matcher, error) {
+	res, err := core.JoinTables(left, right, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := res.ToProgram().Compile(left, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, m, nil
+}
+
+// LearnMultiColumn is the multi-column form of Learn: the compiled
+// Matcher answers full-row queries via MatchRow/MatchRows. If the search
+// selects no columns the Matcher simply never matches.
+func LearnMultiColumn(leftCols, rightCols [][]string, opt Options) (*Result, *Matcher, error) {
+	res, err := core.JoinMultiColumnTables(leftCols, rightCols, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := res.ToProgram().CompileMultiColumn(leftCols, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, m, nil
+}
 
 // Join runs single-column Auto-FuzzyJoin: left is the reference table,
 // right the query table.

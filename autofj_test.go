@@ -112,6 +112,81 @@ func TestDedupAPI(t *testing.T) {
 	}
 }
 
+func TestLearnServeAPI(t *testing.T) {
+	left := []string{
+		"alpha research institute", "bravo research institute",
+		"carol analytics bureau", "delta analytics bureau",
+		"echo standards council", "foxtrot standards council",
+	}
+	right := []string{"alpha reserch institute", "carol analytics"}
+	res, matcher, err := Learn(left, right, Options{
+		PrecisionTarget: 0.7, Space: ReducedSpace(), ThresholdSteps: 15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Program) == 0 {
+		t.Fatal("no program learned")
+	}
+	// The serving handle answers fresh single-record queries.
+	m, ok, err := matcher.Match(t.Context(), "bravo reserch institute")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || left[m.Left] != "bravo research institute" {
+		t.Errorf("Match = %+v ok=%v", m, ok)
+	}
+	if m.Precision <= 0 || m.Precision > 1 {
+		t.Errorf("precision estimate %f out of range", m.Precision)
+	}
+	// Batch queries are bit-identical to re-applying the program.
+	joins, err := res.ToProgram().Apply(left, right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := matcher.MatchBatch(t.Context(), right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for r, mt := range batch {
+		if mt.Left < 0 {
+			continue
+		}
+		if joins[n].Right != r || joins[n].Left != mt.Left || joins[n].Distance != mt.Distance {
+			t.Errorf("batch entry %d: %+v vs applied %+v", r, mt, joins[n])
+		}
+		n++
+	}
+	if n != len(joins) {
+		t.Errorf("batch matched %d rows, Apply %d", n, len(joins))
+	}
+}
+
+func TestLearnMultiColumnAPI(t *testing.T) {
+	leftCols := [][]string{
+		{"the silent river", "the golden empire", "the broken garden", "the hidden harbor"},
+		{"ava chen", "marco diaz", "lena fischer", "omar hassan"},
+	}
+	rightCols := [][]string{
+		{"silent river", "golden empire (remaster)"},
+		{"ava chen", "marco diaz"},
+	}
+	_, matcher, err := LearnMultiColumn(leftCols, rightCols, Options{
+		PrecisionTarget: 0.7, Space: ReducedSpace(), ThresholdSteps: 10, WeightSteps: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok, err := matcher.MatchRow(t.Context(), []string{"silent river", "ava chen"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || m.Left != 0 {
+		t.Errorf("MatchRow = %+v ok=%v, want left 0", m, ok)
+	}
+}
+
 func TestSpacesExported(t *testing.T) {
 	if len(FullSpace()) != 140 {
 		t.Errorf("FullSpace = %d, want 140", len(FullSpace()))

@@ -7,7 +7,9 @@ package autofj
 // suite runs in minutes; shapes, not absolute numbers, are the target.
 
 import (
+	"context"
 	"fmt"
+	"iter"
 	"math/rand"
 	"runtime"
 	"testing"
@@ -329,6 +331,130 @@ func BenchmarkProgramApply(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := prog.Apply(left, right); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- Serving (learn-once / serve-many) benches ---
+
+// servingProgram is a fixed two-configuration program so the serving
+// benches measure the query path, not a learning run.
+func servingProgram() *Program {
+	return &Program{
+		Version: 1,
+		Configurations: []core.ConfigurationSpec{
+			{Preprocess: "L", Distance: "ED", Threshold: 0.25},
+			{Preprocess: "L", Tokenization: "SP", TokenWeights: "IDFW", Distance: "JD", Threshold: 0.35},
+		},
+		BlockingBeta: 1.0,
+	}
+}
+
+// BenchmarkMatcherCompile10k times the one-time cost of compiling a
+// serving Matcher against a 10k-record reference table.
+func BenchmarkMatcherCompile10k(b *testing.B) {
+	left, _ := blockingBenchTables(10000, 1)
+	prog := servingProgram()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := prog.Compile(left, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMatcherMatch measures steady-state per-query latency against a
+// compiled 10k-record reference table — the number the learn-once /
+// serve-many redesign exists for. Compare with
+// BenchmarkMatcherFreshApply, the rebuild-per-call baseline.
+func BenchmarkMatcherMatch(b *testing.B) {
+	left, right := blockingBenchTables(10000, 2000)
+	m, err := servingProgram().Compile(left, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := m.Match(ctx, right[i%len(right)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMatcherFreshApply is the old deployment path on the same data:
+// one Program.Apply call per query, rebuilding the blocking index,
+// profiles, and rules every time. The per-op ratio against
+// BenchmarkMatcherMatch is the point of the compiled handle (>=10x is the
+// acceptance bar; in practice it is orders of magnitude).
+func BenchmarkMatcherFreshApply(b *testing.B) {
+	left, right := blockingBenchTables(10000, 2000)
+	prog := servingProgram()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := prog.Apply(left, right[i%len(right):i%len(right)+1]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMatcherMatchBatch measures batch throughput (2000 queries per
+// op) sequential versus all-core.
+func BenchmarkMatcherMatchBatch(b *testing.B) {
+	left, right := blockingBenchTables(10000, 2000)
+	ctx := context.Background()
+	ps := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		ps = append(ps, n)
+	}
+	for _, p := range ps {
+		name := "sequential"
+		if p != 1 {
+			name = fmt.Sprintf("parallel%d", p)
+		}
+		b.Run(name, func(b *testing.B) {
+			m, err := servingProgram().Compile(left, Options{Parallelism: p})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.MatchBatch(ctx, right); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMatcherMatchStream measures the pipelined streaming path over
+// 2000 queries per op.
+func BenchmarkMatcherMatchStream(b *testing.B) {
+	left, right := blockingBenchTables(10000, 2000)
+	m, err := servingProgram().Compile(left, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	seq := func(yield func(string) bool) {
+		for _, r := range right {
+			if !yield(r) {
+				return
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		for _, err := range m.MatchStream(ctx, iter.Seq[string](seq)) {
+			if err != nil {
+				b.Fatal(err)
+			}
+			n++
+		}
+		if n != len(right) {
+			b.Fatalf("stream yielded %d of %d", n, len(right))
 		}
 	}
 }

@@ -1,47 +1,95 @@
 // Command autofj joins two CSV tables with Auto-FuzzyJoin.
 //
-// Single-column (uses the named or first column as the join key):
+// Learn and join in one run (uses the named or first column as the join
+// key; add -save-program to keep the learned program):
 //
 //	autofj -left l.csv -right r.csv -column name -tau 0.9 -out joins.csv
+//	autofj -left l.csv -right r.csv -save-program prog.json
 //
 // Multi-column (all columns, automatic column selection):
 //
 //	autofj -left l.csv -right r.csv -multi -tau 0.9
 //
-// The output CSV has columns right_row,left_row,right_value,left_value,
-// estimated_precision. The selected join program is printed to stderr.
+// Apply a saved program to fresh data without re-learning (the program is
+// compiled once against the reference table, then the whole right table
+// is matched):
+//
+//	autofj -left l.csv -right r2.csv -load-program prog.json
+//
+// Serve queries from stdin, one record per line (a CSV row per line when
+// the program is multi-column), answering each line as it arrives:
+//
+//	autofj -left l.csv -load-program prog.json -serve-stdin < queries.txt
+//
+// Join output CSV has columns right_row,left_row,right_value,left_value,
+// estimated_precision; serve output has query,left_row,left_value,
+// distance,estimated_precision (left_row -1 for no match). The join
+// program is printed to stderr.
 package main
 
 import (
+	"bufio"
+	"context"
+	"encoding/csv"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
+	"strings"
 
 	autofj "github.com/chu-data-lab/autofuzzyjoin-go"
 	"github.com/chu-data-lab/autofuzzyjoin-go/internal/dataset"
 )
 
 func main() {
-	var (
-		leftPath  = flag.String("left", "", "reference table CSV (required)")
-		rightPath = flag.String("right", "", "query table CSV (required)")
-		column    = flag.String("column", "", "join key column name (default: first column)")
-		multi     = flag.Bool("multi", false, "use all columns (multi-column AutoFJ)")
-		tau       = flag.Float64("tau", 0.9, "precision target")
-		steps     = flag.Int("steps", 50, "threshold discretization steps")
-		beta      = flag.Float64("beta", 1.0, "blocking factor")
-		reduced   = flag.Bool("reduced", false, "use the reduced 24-configuration space")
-		parallel  = flag.Int("parallelism", 0, "worker goroutines (0 = all CPUs, 1 = sequential)")
-		outPath   = flag.String("out", "", "output CSV (default stdout)")
-	)
-	flag.Parse()
-	if *leftPath == "" || *rightPath == "" {
-		flag.Usage()
-		os.Exit(2)
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		if !errors.Is(err, flag.ErrHelp) {
+			fmt.Fprintln(os.Stderr, "autofj:", err)
+		}
+		os.Exit(1)
 	}
-	left := mustReadCSV(*leftPath)
-	right := mustReadCSV(*rightPath)
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("autofj", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		leftPath  = fs.String("left", "", "reference table CSV (required)")
+		rightPath = fs.String("right", "", "query table CSV (required unless serving a loaded program)")
+		column    = fs.String("column", "", "join key column name (default: first column)")
+		multi     = fs.Bool("multi", false, "use all columns (multi-column AutoFJ)")
+		tau       = fs.Float64("tau", 0.9, "precision target")
+		steps     = fs.Int("steps", 50, "threshold discretization steps")
+		beta      = fs.Float64("beta", 1.0, "blocking factor")
+		reduced   = fs.Bool("reduced", false, "use the reduced 24-configuration space")
+		parallel  = fs.Int("parallelism", 0, "worker goroutines (0 = all CPUs, 1 = sequential)")
+		outPath   = fs.String("out", "", "output CSV (default stdout)")
+		savePath  = fs.String("save-program", "", "after learning, write the join program JSON here")
+		loadPath  = fs.String("load-program", "", "load a saved program JSON instead of learning")
+		serve     = fs.Bool("serve-stdin", false, "serve queries from stdin, one per line")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *leftPath == "" {
+		fs.Usage()
+		return errors.New("-left is required")
+	}
+	if *loadPath != "" && *savePath != "" {
+		return errors.New("-save-program only makes sense when learning (drop -load-program)")
+	}
+	left, err := readCSV(*leftPath)
+	if err != nil {
+		return err
+	}
+	var right dataset.Table
+	if *rightPath != "" {
+		if right, err = readCSV(*rightPath); err != nil {
+			return err
+		}
+	}
 
 	opt := autofj.Options{
 		PrecisionTarget: *tau,
@@ -53,84 +101,237 @@ func main() {
 		opt.Space = autofj.ReducedSpace()
 	}
 
+	// Phase 1: obtain a program — load a saved one, or learn it now.
+	var prog *autofj.Program
 	var res *autofj.Result
-	var err error
-	var leftVals, rightVals []string
-	if *multi {
-		leftVals = concat(left)
-		rightVals = concat(right)
-		res, err = autofj.JoinMultiColumn(left.AllColumns(), right.AllColumns(), opt)
-	} else {
-		leftVals = keyColumn(left, *column)
-		rightVals = keyColumn(right, *column)
-		res, err = autofj.Join(leftVals, rightVals, opt)
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "autofj:", err)
-		os.Exit(1)
-	}
-
-	fmt.Fprintf(os.Stderr, "program: %s\n", res.ProgramString())
-	fmt.Fprintf(os.Stderr, "estimated precision %.3f, %d joins\n", res.EstPrecision, len(res.Joins))
-	if len(res.Columns) > 0 {
-		fmt.Fprintf(os.Stderr, "selected columns:")
-		for i, c := range res.Columns {
-			fmt.Fprintf(os.Stderr, " %s:%.2f", left.Columns[c], res.Weights[i])
+	if *loadPath != "" {
+		data, err := os.ReadFile(*loadPath)
+		if err != nil {
+			return err
 		}
-		fmt.Fprintln(os.Stderr)
+		if prog, err = autofj.LoadProgram(data); err != nil {
+			return err
+		}
+	} else {
+		if *rightPath == "" {
+			fs.Usage()
+			return errors.New("-right is required when learning (no -load-program)")
+		}
+		if *multi {
+			res, err = autofj.JoinMultiColumn(left.AllColumns(), right.AllColumns(), opt)
+		} else {
+			var leftVals, rightVals []string
+			if leftVals, err = keyColumn(left, *column); err != nil {
+				return err
+			}
+			if rightVals, err = keyColumn(right, *column); err != nil {
+				return err
+			}
+			res, err = autofj.Join(leftVals, rightVals, opt)
+		}
+		if err != nil {
+			return err
+		}
+		prog = res.ToProgram()
+		fmt.Fprintf(stderr, "program: %s\n", res.ProgramString())
+		fmt.Fprintf(stderr, "estimated precision %.3f, %d joins\n", res.EstPrecision, len(res.Joins))
+		if len(res.Columns) > 0 {
+			fmt.Fprintf(stderr, "selected columns:")
+			for i, c := range res.Columns {
+				fmt.Fprintf(stderr, " %s:%.2f", left.Columns[c], res.Weights[i])
+			}
+			fmt.Fprintln(stderr)
+		}
+		if *savePath != "" {
+			data, err := prog.Encode()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*savePath, data, 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(stderr, "program saved to %s\n", *savePath)
+		}
 	}
 
-	out := os.Stdout
+	// Phase 2: serve, apply, or emit the learned joins.
+	out := stdout
 	if *outPath != "" {
 		f, err := os.Create(*outPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "autofj:", err)
-			os.Exit(1)
+			return err
 		}
 		defer f.Close()
 		out = f
 	}
-	result := dataset.Table{
-		Columns: []string{"right_row", "left_row", "right_value", "left_value", "estimated_precision"},
+	if *serve {
+		return serveStdin(prog, left, *column, opt, stdin, out, stderr)
 	}
-	for _, j := range res.Joins {
+
+	if res != nil {
+		// Learned this run: emit the learning-time join assignment.
+		leftVals, rightVals, err := outputValues(prog, left, right, *column, *multi)
+		if err != nil {
+			return err
+		}
+		result := joinTable()
+		for _, j := range res.Joins {
+			result.Rows = append(result.Rows, []string{
+				strconv.Itoa(j.Right), strconv.Itoa(j.Left),
+				rightVals[j.Right], leftVals[j.Left],
+				strconv.FormatFloat(j.Precision, 'f', 4, 64),
+			})
+		}
+		return result.WriteCSV(out)
+	}
+
+	// Loaded program: compile once against the reference table, match the
+	// whole right table.
+	if *rightPath == "" {
+		fs.Usage()
+		return errors.New("-right is required to apply a loaded program (or add -serve-stdin)")
+	}
+	matcher, leftVals, err := compileFor(prog, left, *column, opt)
+	if err != nil {
+		return err
+	}
+	var matches []autofj.Match
+	var rightVals []string
+	if len(prog.Columns) > 0 {
+		rightVals = concat(right)
+		matches, err = matcher.MatchRows(context.Background(), right.Rows)
+	} else {
+		if rightVals, err = keyColumn(right, *column); err != nil {
+			return err
+		}
+		matches, err = matcher.MatchBatch(context.Background(), rightVals)
+	}
+	if err != nil {
+		return err
+	}
+	result := joinTable()
+	for r, m := range matches {
+		if m.Left < 0 {
+			continue
+		}
 		result.Rows = append(result.Rows, []string{
-			strconv.Itoa(j.Right), strconv.Itoa(j.Left),
-			rightVals[j.Right], leftVals[j.Left],
-			strconv.FormatFloat(j.Precision, 'f', 4, 64),
+			strconv.Itoa(r), strconv.Itoa(m.Left),
+			rightVals[r], leftVals[m.Left],
+			strconv.FormatFloat(m.Precision, 'f', 4, 64),
 		})
 	}
-	if err := result.WriteCSV(out); err != nil {
-		fmt.Fprintln(os.Stderr, "autofj:", err)
-		os.Exit(1)
+	return result.WriteCSV(out)
+}
+
+// joinTable is the shared output schema of the learn and apply modes.
+func joinTable() dataset.Table {
+	return dataset.Table{
+		Columns: []string{"right_row", "left_row", "right_value", "left_value", "estimated_precision"},
 	}
 }
 
-func mustReadCSV(path string) dataset.Table {
+// compileFor builds the serving matcher for a program against the
+// reference table, returning the display values of the reference records.
+func compileFor(prog *autofj.Program, left dataset.Table, column string, opt autofj.Options) (*autofj.Matcher, []string, error) {
+	if len(prog.Columns) > 0 {
+		m, err := prog.CompileMultiColumn(left.AllColumns(), opt)
+		return m, concat(left), err
+	}
+	leftVals, err := keyColumn(left, column)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := prog.Compile(leftVals, opt)
+	return m, leftVals, err
+}
+
+// outputValues picks the display values for the learn-mode join CSV.
+func outputValues(prog *autofj.Program, left, right dataset.Table, column string, multi bool) (leftVals, rightVals []string, err error) {
+	if multi || len(prog.Columns) > 0 {
+		return concat(left), concat(right), nil
+	}
+	if leftVals, err = keyColumn(left, column); err != nil {
+		return nil, nil, err
+	}
+	if rightVals, err = keyColumn(right, column); err != nil {
+		return nil, nil, err
+	}
+	return leftVals, rightVals, nil
+}
+
+// serveStdin answers one query per input line against the compiled
+// matcher, flushing each answer as it is produced (to stdout or -out).
+// Multi-column programs take a CSV row per line.
+func serveStdin(prog *autofj.Program, left dataset.Table, column string, opt autofj.Options, stdin io.Reader, out, stderr io.Writer) error {
+	matcher, leftVals, err := compileFor(prog, left, column, opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "serving %d reference records; one query per line\n", matcher.Len())
+	w := csv.NewWriter(out)
+	if err := w.Write([]string{"query", "left_row", "left_value", "distance", "estimated_precision"}); err != nil {
+		return err
+	}
+	w.Flush()
+	ctx := context.Background()
+	sc := bufio.NewScanner(stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		var m autofj.Match
+		var ok bool
+		if matcher.MultiColumn() {
+			row, err := csv.NewReader(strings.NewReader(line)).Read()
+			if err != nil {
+				return fmt.Errorf("parsing query row %q: %w", line, err)
+			}
+			if m, ok, err = matcher.MatchRow(ctx, row); err != nil {
+				return err
+			}
+		} else if m, ok, err = matcher.Match(ctx, line); err != nil {
+			return err
+		}
+		rec := []string{line, "-1", "", "", ""}
+		if ok {
+			rec = []string{
+				line, strconv.Itoa(m.Left), leftVals[m.Left],
+				strconv.FormatFloat(m.Distance, 'f', 4, 64),
+				strconv.FormatFloat(m.Precision, 'f', 4, 64),
+			}
+		}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+		w.Flush()
+		if err := w.Error(); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+func readCSV(path string) (dataset.Table, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "autofj:", err)
-		os.Exit(1)
+		return dataset.Table{}, err
 	}
 	defer f.Close()
 	t, err := dataset.ReadCSV(f)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "autofj: %s: %v\n", path, err)
-		os.Exit(1)
+		return dataset.Table{}, fmt.Errorf("%s: %w", path, err)
 	}
-	return t
+	return t, nil
 }
 
-func keyColumn(t dataset.Table, name string) []string {
+func keyColumn(t dataset.Table, name string) ([]string, error) {
 	if name == "" {
-		return t.Column(0)
+		return t.Column(0), nil
 	}
 	col, ok := t.ColumnByName(name)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "autofj: column %q not found (have %v)\n", name, t.Columns)
-		os.Exit(1)
+		return nil, fmt.Errorf("column %q not found (have %v)", name, t.Columns)
 	}
-	return col
+	return col, nil
 }
 
 func concat(t dataset.Table) []string {

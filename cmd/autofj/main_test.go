@@ -1,6 +1,11 @@
 package main
 
 import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 
 	"github.com/chu-data-lab/autofuzzyjoin-go/internal/dataset"
@@ -11,11 +16,16 @@ func TestKeyColumn(t *testing.T) {
 		Columns: []string{"id", "name"},
 		Rows:    [][]string{{"1", "alpha"}, {"2", "beta"}},
 	}
-	if got := keyColumn(tab, ""); got[0] != "1" {
-		t.Errorf("default key column = %v", got)
+	got, err := keyColumn(tab, "")
+	if err != nil || got[0] != "1" {
+		t.Errorf("default key column = %v (%v)", got, err)
 	}
-	if got := keyColumn(tab, "name"); got[1] != "beta" {
-		t.Errorf("named key column = %v", got)
+	got, err = keyColumn(tab, "name")
+	if err != nil || got[1] != "beta" {
+		t.Errorf("named key column = %v (%v)", got, err)
+	}
+	if _, err := keyColumn(tab, "nope"); err == nil {
+		t.Error("missing column accepted")
 	}
 }
 
@@ -28,4 +38,146 @@ func TestConcat(t *testing.T) {
 	if got[0] != "x z" || got[1] != "" {
 		t.Errorf("concat = %v", got)
 	}
+}
+
+// writeCSVFile writes a small one-column table for the CLI tests.
+func writeCSVFile(t *testing.T, path, header string, rows []string) {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString(header + "\n")
+	for _, r := range rows {
+		b.WriteString(r + "\n")
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func cliTables(t *testing.T, dir string) (leftPath, rightPath string) {
+	t.Helper()
+	leftPath = filepath.Join(dir, "left.csv")
+	rightPath = filepath.Join(dir, "right.csv")
+	writeCSVFile(t, leftPath, "name", []string{
+		"alpha research institute", "bravo research institute",
+		"carol analytics bureau", "delta analytics bureau",
+		"echo standards council", "foxtrot standards council",
+	})
+	writeCSVFile(t, rightPath, "name", []string{
+		"alpha reserch institute", "carol analytics", "unrelated hospital ward",
+	})
+	return leftPath, rightPath
+}
+
+// TestSaveLoadApplyLoop covers the full CLI deployment loop: learn with
+// -save-program, re-apply with -load-program, and check the two output
+// CSVs assign the same joins.
+func TestSaveLoadApplyLoop(t *testing.T) {
+	dir := t.TempDir()
+	leftPath, rightPath := cliTables(t, dir)
+	progPath := filepath.Join(dir, "prog.json")
+	learnOut := filepath.Join(dir, "learn.csv")
+	applyOut := filepath.Join(dir, "apply.csv")
+
+	var errBuf bytes.Buffer
+	err := run([]string{
+		"-left", leftPath, "-right", rightPath, "-tau", "0.7", "-steps", "15",
+		"-reduced", "-save-program", progPath, "-out", learnOut,
+	}, strings.NewReader(""), io.Discard, &errBuf)
+	if err != nil {
+		t.Fatalf("learn: %v (stderr: %s)", err, errBuf.String())
+	}
+	if _, err := os.Stat(progPath); err != nil {
+		t.Fatalf("program not saved: %v", err)
+	}
+	if !strings.Contains(errBuf.String(), "program saved to") {
+		t.Errorf("stderr missing save confirmation: %s", errBuf.String())
+	}
+
+	errBuf.Reset()
+	err = run([]string{
+		"-left", leftPath, "-right", rightPath, "-load-program", progPath, "-out", applyOut,
+	}, strings.NewReader(""), io.Discard, &errBuf)
+	if err != nil {
+		t.Fatalf("apply: %v (stderr: %s)", err, errBuf.String())
+	}
+
+	learned := readJoinCSV(t, learnOut)
+	applied := readJoinCSV(t, applyOut)
+	if len(applied) == 0 {
+		t.Fatal("apply produced no joins")
+	}
+	if len(learned) != len(applied) {
+		t.Fatalf("learned %d joins, applied %d", len(learned), len(applied))
+	}
+	for r, l := range learned {
+		if applied[r] != l {
+			t.Errorf("right %s: learned left %s, applied left %s", r, l, applied[r])
+		}
+	}
+}
+
+// TestServeStdin streams queries through the compiled matcher.
+func TestServeStdin(t *testing.T) {
+	dir := t.TempDir()
+	leftPath, rightPath := cliTables(t, dir)
+	progPath := filepath.Join(dir, "prog.json")
+	if err := run([]string{
+		"-left", leftPath, "-right", rightPath, "-tau", "0.7", "-steps", "15",
+		"-reduced", "-save-program", progPath, "-out", filepath.Join(dir, "ignored.csv"),
+	}, strings.NewReader(""), io.Discard, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	queries := "bravo reserch institute\ntotally unrelated xyz record\n"
+	if err := run([]string{
+		"-left", leftPath, "-load-program", progPath, "-serve-stdin",
+	}, strings.NewReader(queries), &out, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 3 { // header + 2 answers
+		t.Fatalf("serve output: %q", out.String())
+	}
+	if !strings.Contains(lines[1], "bravo research institute") {
+		t.Errorf("query 1 answer: %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "totally unrelated xyz record,-1") {
+		t.Errorf("query 2 should be unmatched: %q", lines[2])
+	}
+}
+
+// TestCLIFlagValidation covers the mode-flag error paths.
+func TestCLIFlagValidation(t *testing.T) {
+	dir := t.TempDir()
+	leftPath, _ := cliTables(t, dir)
+	if err := run([]string{"-right", leftPath}, strings.NewReader(""), io.Discard, io.Discard); err == nil {
+		t.Error("missing -left accepted")
+	}
+	if err := run([]string{"-left", leftPath}, strings.NewReader(""), io.Discard, io.Discard); err == nil {
+		t.Error("learning without -right accepted")
+	}
+	if err := run([]string{
+		"-left", leftPath, "-load-program", "x.json", "-save-program", "y.json",
+	}, strings.NewReader(""), io.Discard, io.Discard); err == nil {
+		t.Error("-load-program with -save-program accepted")
+	}
+}
+
+// readJoinCSV parses the output CSV into a right_row -> left_row map.
+func readJoinCSV(t *testing.T, path string) map[string]string {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tab, err := dataset.ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]string{}
+	for _, row := range tab.Rows {
+		out[row[0]] = row[1]
+	}
+	return out
 }

@@ -1,0 +1,576 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/blocking"
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/config"
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/negrule"
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/parallel"
+)
+
+// Match is the outcome of matching one query record against a compiled
+// reference table.
+type Match struct {
+	// Left is the matched reference record index; -1 when unmatched.
+	Left int
+	// Distance is the distance under the configuration that matched.
+	Distance float64
+	// Precision is the unsupervised per-join precision estimate (Eq. 9):
+	// 1 / (number of reference records in the 2θ-ball around Left).
+	Precision float64
+	// Config indexes the program's Configurations; -1 when unmatched.
+	Config int
+}
+
+// noMatch is the canonical unmatched result.
+func noMatch() Match { return Match{Left: -1, Config: -1} }
+
+// Matcher is a join program compiled against a fixed reference table: the
+// blocking index, per-record profiles, frozen negative rules, and the
+// precision-estimation geometry are built exactly once, so queries are
+// cheap repeatable lookups instead of the rebuild-per-call of
+// Program.Apply on a fresh table pair.
+//
+// A Matcher is immutable after Compile and safe for concurrent use; the
+// only internal writes are an atomic ball-count cache (deterministic
+// values, so racing fills are benign) and a sync.Pool of per-call scratch
+// that keeps the steady-state query path allocation-lean.
+//
+// Matching semantics reproduce the learning-time union semantics of
+// Algorithm 1 exactly: per configuration (in program order) the query
+// joins its closest blocked, rule-surviving candidate within the
+// threshold, and conflicting configurations resolve toward the join with
+// the higher estimated precision. Token IDF statistics are computed from
+// the reference table alone (the only corpus a serving handle can know),
+// whereas learning computes them over both tables — for IDF-weighted
+// configurations the two can therefore differ in the last float bits.
+type Matcher struct {
+	configs []Configuration
+	multi   bool
+	columns []int
+	weights []float64
+	// rowWidth is the exact arity MatchRow requires on a multi-column
+	// matcher — the reference table's column count — so a query row
+	// concatenates to the same blocking-key shape the program was
+	// learned on.
+	rowWidth int
+
+	ix    *blocking.Index
+	k     int
+	rules *negrule.Frozen
+	cols  []matcherCol
+	nL    int
+
+	// balls caches the 2θ-ball cardinality per (configuration, reference
+	// record), indexed cfg*nL+left; 0 means "not yet computed" (a real
+	// count is always >= 1). Values are deterministic, so concurrent
+	// fills are benign.
+	balls      []atomic.Uint32
+	ballFactor float64
+
+	parallelism int
+
+	pool sync.Pool // *matchScratch
+}
+
+// matcherCol bundles the compiled state of one program column: the corpus
+// statistics (for building query profiles), the precomputed reference
+// profiles, and the raw cells (for the multi-column missing-value rule).
+type matcherCol struct {
+	corpus *config.Corpus
+	profL  []*config.Profile
+	cells  []string
+}
+
+// matchScratch is the reusable per-call state of the query path.
+type matchScratch struct {
+	sc        *blocking.Scratch
+	cands     []blocking.Candidate
+	ballCands []blocking.Candidate
+	ids       []int32
+	qprof     []*config.Profile
+	qcells    []string
+	qwords    []string
+}
+
+var errNeedRow = errors.New("core: matcher was compiled from a multi-column program; use MatchRow or MatchRows")
+
+// Compile builds a serving Matcher for a single-column program against
+// the reference table left. Preparation (blocking index, profiles,
+// negative rules) happens once, sharded across opt.Parallelism workers;
+// the same knob bounds MatchBatch fan-out. Programs learned by the
+// multi-column search must use CompileMultiColumn.
+func (p *Program) Compile(left []string, opt Options) (*Matcher, error) {
+	if len(p.Columns) > 0 {
+		return nil, errors.New("core: program was learned on multiple columns; use CompileMultiColumn")
+	}
+	return p.compile([][]string{left}, left, nil, nil, opt)
+}
+
+// CompileMultiColumn builds a serving Matcher for a multi-column program:
+// leftCols are the full columns of the reference table (the stored column
+// selection indexes into them), and queries arrive as full rows via
+// MatchRow/MatchRows.
+func (p *Program) CompileMultiColumn(leftCols [][]string, opt Options) (*Matcher, error) {
+	if len(p.Columns) != len(p.Weights) ||
+		(len(p.Columns) == 0 && len(p.Configurations) > 0) {
+		return nil, errors.New("core: program has no multi-column weights; use Compile")
+	}
+	if len(leftCols) == 0 {
+		return nil, errColumnShape
+	}
+	nL := len(leftCols[0])
+	for _, col := range leftCols {
+		if len(col) != nL {
+			return nil, errColumnShape
+		}
+	}
+	for _, c := range p.Columns {
+		if c < 0 || c >= len(leftCols) {
+			return nil, fmt.Errorf("core: program column %d out of range", c)
+		}
+	}
+	m, err := p.compile(selectColumns(leftCols, p.Columns), concatColumns(leftCols), p.Columns, p.Weights, opt)
+	if err != nil {
+		return nil, err
+	}
+	m.multi = true
+	m.rowWidth = len(leftCols)
+	return m, nil
+}
+
+// compile is the shared preparation path: progCols are the program's
+// columns (one entry for single-column programs), leftKey the blocking
+// keys of the reference records.
+func (p *Program) compile(progCols [][]string, leftKey []string, columns []int, colWeights []float64, opt Options) (*Matcher, error) {
+	configs, err := p.configurations()
+	if err != nil {
+		return nil, err
+	}
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	beta := p.BlockingBeta
+	if beta <= 0 {
+		beta = DefaultBlockingBeta
+	}
+	factor := p.BallRadiusFactor
+	if factor <= 0 {
+		factor = opt.BallRadiusFactor
+	}
+	if factor <= 0 {
+		factor = 2
+	}
+
+	m := &Matcher{
+		configs:     configs,
+		multi:       columns != nil,
+		columns:     append([]int(nil), columns...),
+		weights:     append([]float64(nil), colWeights...),
+		nL:          len(leftKey),
+		ballFactor:  factor,
+		parallelism: opt.Parallelism,
+	}
+	m.ix = blocking.NewIndexParallel(leftKey, opt.Parallelism)
+	m.k = blocking.K(len(leftKey), beta)
+
+	space := make([]config.JoinFunction, len(configs))
+	for i, c := range configs {
+		space[i] = c.Function
+	}
+	m.cols = make([]matcherCol, len(progCols))
+	for j, colRecs := range progCols {
+		corpus := config.NewCorpus(space, colRecs)
+		prof := make([]*config.Profile, len(colRecs))
+		parallel.Shard(len(colRecs), parallel.Workers(opt.Parallelism, len(colRecs)), func(_, start, end int) {
+			for i := start; i < end; i++ {
+				prof[i] = corpus.Profile(colRecs[i])
+			}
+		})
+		m.cols[j] = matcherCol{corpus: corpus, profL: prof, cells: colRecs}
+	}
+	if len(p.NegativeRules) > 0 {
+		set := negrule.NewSet()
+		for _, pair := range p.NegativeRules {
+			set.Add(pair[0], pair[1])
+		}
+		m.rules = set.Freeze(leftKey, opt.Parallelism)
+	}
+	m.balls = make([]atomic.Uint32, len(configs)*len(leftKey))
+	m.pool.New = func() any {
+		return &matchScratch{
+			sc:     m.ix.NewScratch(),
+			qprof:  make([]*config.Profile, len(m.cols)),
+			qcells: make([]string, len(m.cols)),
+		}
+	}
+	return m, nil
+}
+
+// Len returns the number of reference records the matcher was compiled
+// against.
+func (m *Matcher) Len() int { return m.nL }
+
+// MultiColumn reports whether queries must arrive as rows (MatchRow)
+// rather than single strings (Match).
+func (m *Matcher) MultiColumn() bool { return m.multi }
+
+// Program returns the configurations the matcher serves, in program
+// order (Match.Config indexes this slice).
+func (m *Matcher) Program() []Configuration {
+	return append([]Configuration(nil), m.configs...)
+}
+
+func (m *Matcher) getScratch() *matchScratch { return m.pool.Get().(*matchScratch) }
+func (m *Matcher) putScratch(ms *matchScratch) {
+	for i := range ms.qprof {
+		ms.qprof[i] = nil // don't pin query profiles across calls
+	}
+	m.pool.Put(ms)
+}
+
+// queryDist evaluates configuration ci between reference record l and the
+// current query profiles. Multi-column distances reproduce the learned
+// tensor semantics: per-column float32 rounding and maximal distance for
+// two missing cells.
+func (m *Matcher) queryDist(ci int, ms *matchScratch, l int32) float64 {
+	f := m.configs[ci].Function
+	if !m.multi {
+		return f.Distance(m.cols[0].profL[l], ms.qprof[0])
+	}
+	var d float64
+	for j := range m.cols {
+		c := &m.cols[j]
+		if c.cells[l] == "" && ms.qcells[j] == "" {
+			d += m.weights[j]
+			continue
+		}
+		d += m.weights[j] * float64(float32(f.Distance(c.profL[l], ms.qprof[j])))
+	}
+	return d
+}
+
+// leftDist evaluates configuration ci between two reference records (the
+// ball-construction distance).
+func (m *Matcher) leftDist(ci int, a, b int32) float64 {
+	f := m.configs[ci].Function
+	if !m.multi {
+		return f.Distance(m.cols[0].profL[a], m.cols[0].profL[b])
+	}
+	var d float64
+	for j := range m.cols {
+		c := &m.cols[j]
+		if c.cells[a] == "" && c.cells[b] == "" {
+			d += m.weights[j]
+			continue
+		}
+		d += m.weights[j] * float64(float32(f.Distance(c.profL[a], c.profL[b])))
+	}
+	return d
+}
+
+// ballCount returns the number of reference records (center included)
+// within ballFactor·θ of record l under configuration ci — the
+// denominator of the Eq. 9 precision estimate. Counts are computed on
+// first use and cached atomically; the value is deterministic, so
+// concurrent fills store the same result.
+func (m *Matcher) ballCount(ci int, l int32, ms *matchScratch) uint32 {
+	slot := &m.balls[ci*m.nL+int(l)]
+	if v := slot.Load(); v != 0 {
+		return v
+	}
+	radius := m.ballFactor * m.configs[ci].Threshold
+	ms.ballCands = m.ix.AppendTopKSelf(ms.ballCands[:0], ms.sc, int(l), m.k)
+	count := uint32(1)
+	for _, c := range ms.ballCands {
+		if m.leftDist(ci, l, c.ID) <= radius {
+			count++
+		}
+	}
+	if count > maxBallCount {
+		count = maxBallCount
+	}
+	slot.Store(count)
+	return count
+}
+
+// matchOne runs the full query path for one record: blocking, negative-
+// rule vetoes, per-configuration closest-candidate scans, and the
+// learning-faithful union resolution.
+func (m *Matcher) matchOne(ms *matchScratch, key string, row []string) (Match, bool) {
+	if len(m.configs) == 0 || m.nL == 0 {
+		return noMatch(), false
+	}
+	ms.cands = m.ix.AppendTopK(ms.cands[:0], ms.sc, key, m.k, -1)
+	ids := ms.ids[:0]
+	if m.rules != nil && m.rules.Len() > 0 {
+		ms.qwords = negrule.AppendWordSet(ms.qwords[:0], key)
+		for _, c := range ms.cands {
+			if !m.rules.Blocks(int(c.ID), ms.qwords) {
+				ids = append(ids, c.ID)
+			}
+		}
+	} else {
+		for _, c := range ms.cands {
+			ids = append(ids, c.ID)
+		}
+	}
+	ms.ids = ids
+	if len(ids) == 0 {
+		return noMatch(), false
+	}
+	if m.multi {
+		for j, cj := range m.columns {
+			ms.qcells[j] = row[cj]
+		}
+	} else {
+		ms.qcells[0] = key
+	}
+	for j := range m.cols {
+		ms.qprof[j] = m.cols[j].corpus.Profile(ms.qcells[j])
+	}
+	best := noMatch()
+	for ci := range m.configs {
+		bl, bd := int32(-1), math.Inf(1)
+		for _, l := range ids {
+			if d := m.queryDist(ci, ms, l); d < bd {
+				bd, bl = d, l
+			}
+		}
+		if bl < 0 || bd > m.configs[ci].Threshold || bd >= unjoinableDist {
+			continue
+		}
+		pr := 1 / float64(m.ballCount(ci, bl, ms))
+		switch {
+		case best.Left < 0:
+			best = Match{Left: int(bl), Distance: bd, Precision: pr, Config: ci}
+		case best.Left == int(bl):
+			// Same join produced again: keep the more confident estimate
+			// but the original configuration, as the greedy search does.
+			if pr > best.Precision {
+				best.Precision = pr
+			}
+		case pr > best.Precision:
+			best = Match{Left: int(bl), Distance: bd, Precision: pr, Config: ci}
+		}
+	}
+	return best, best.Left >= 0
+}
+
+// concatRow builds the blocking key of a full row, matching the
+// concatColumns normalization used at learning time.
+func concatRow(row []string) string {
+	return strings.Join(strings.Fields(strings.Join(row, " ")), " ")
+}
+
+// Match matches one query record, returning the join (if any) with its
+// distance and unsupervised precision estimate. Safe for concurrent use.
+func (m *Matcher) Match(ctx context.Context, record string) (Match, bool, error) {
+	if m.multi {
+		return noMatch(), false, errNeedRow
+	}
+	if err := ctx.Err(); err != nil {
+		return noMatch(), false, err
+	}
+	ms := m.getScratch()
+	defer m.putScratch(ms)
+	mt, ok := m.matchOne(ms, record, nil)
+	return mt, ok, nil
+}
+
+// MatchRow matches one full row against a multi-column matcher. The row
+// must have exactly as many cells as the reference table has columns —
+// the whole row forms the blocking key, so a different arity would
+// silently change the key shape the program was learned on. On a
+// single-column matcher it accepts exactly one cell.
+func (m *Matcher) MatchRow(ctx context.Context, row []string) (Match, bool, error) {
+	if !m.multi {
+		if len(row) != 1 {
+			return noMatch(), false, fmt.Errorf("core: single-column matcher wants 1 cell, got %d", len(row))
+		}
+		return m.Match(ctx, row[0])
+	}
+	if len(row) != m.rowWidth {
+		return noMatch(), false, fmt.Errorf("core: matcher wants rows with %d cells (the reference table's arity), got %d", m.rowWidth, len(row))
+	}
+	if err := ctx.Err(); err != nil {
+		return noMatch(), false, err
+	}
+	ms := m.getScratch()
+	defer m.putScratch(ms)
+	mt, ok := m.matchOne(ms, concatRow(row), row)
+	return mt, ok, nil
+}
+
+// MatchBatch matches a batch of query records, sharding across the
+// parallelism the matcher was compiled with. The result is aligned with
+// records (unmatched entries have Left == -1 and Config == -1) and is
+// bit-identical at every parallelism level.
+func (m *Matcher) MatchBatch(ctx context.Context, records []string) ([]Match, error) {
+	if m.multi {
+		return nil, errNeedRow
+	}
+	return m.batch(ctx, len(records), func(ms *matchScratch, i int) Match {
+		mt, _ := m.matchOne(ms, records[i], nil)
+		return mt
+	})
+}
+
+// MatchRows is the row-based batch form for multi-column matchers (it
+// also accepts single-cell rows on a single-column matcher).
+func (m *Matcher) MatchRows(ctx context.Context, rows [][]string) ([]Match, error) {
+	for i, row := range rows {
+		if m.multi {
+			if len(row) != m.rowWidth {
+				return nil, fmt.Errorf("core: row %d has %d cells, want %d (the reference table's arity)", i, len(row), m.rowWidth)
+			}
+		} else if len(row) != 1 {
+			return nil, fmt.Errorf("core: row %d has %d cells; single-column matcher wants 1", i, len(row))
+		}
+	}
+	return m.batch(ctx, len(rows), func(ms *matchScratch, i int) Match {
+		var mt Match
+		if m.multi {
+			mt, _ = m.matchOne(ms, concatRow(rows[i]), rows[i])
+		} else {
+			mt, _ = m.matchOne(ms, rows[i][0], nil)
+		}
+		return mt
+	})
+}
+
+// batch shards n independent queries across workers, each with pooled
+// scratch; results land at fixed indexes, so output never depends on
+// scheduling. Cancellation is checked per record.
+func (m *Matcher) batch(ctx context.Context, n int, one func(*matchScratch, int) Match) ([]Match, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]Match, n)
+	var stop atomic.Bool
+	parallel.Shard(n, parallel.Workers(m.parallelism, n), func(_, start, end int) {
+		ms := m.getScratch()
+		defer m.putScratch(ms)
+		for i := start; i < end; i++ {
+			if stop.Load() {
+				return
+			}
+			if ctx.Err() != nil {
+				stop.Store(true)
+				return
+			}
+			out[i] = one(ms, i)
+		}
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// StreamMatch is one element of a MatchStream: the query's position in
+// the input stream, the record itself, and its match (OK reports whether
+// a join was found).
+type StreamMatch struct {
+	Index  int
+	Record string
+	Match  Match
+	OK     bool
+}
+
+// streamChunk is the pipelining granularity of MatchStream: big enough to
+// amortize batch fan-out, small enough to keep results flowing.
+const streamChunk = 128
+
+// MatchStream matches a stream of query records, yielding results in
+// input order while the next chunk is matched concurrently (one chunk of
+// lookahead, each chunk sharded like MatchBatch). The input sequence is
+// pulled from an internal goroutine, so it must not be shared with the
+// consumer. Breaking out of the loop or cancelling ctx stops the
+// pipeline promptly; a cancellation error is yielded as the final pair.
+func (m *Matcher) MatchStream(ctx context.Context, records iter.Seq[string]) iter.Seq2[StreamMatch, error] {
+	return func(yield func(StreamMatch, error) bool) {
+		if m.multi {
+			yield(StreamMatch{Index: -1, Match: noMatch()}, errNeedRow)
+			return
+		}
+		ictx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		type chunk struct {
+			base int
+			recs []string
+			res  []Match
+			err  error
+		}
+		ch := make(chan chunk, 1)
+		// stopErr records a silent early producer stop; the write happens
+		// before close(ch), so the consumer's post-drain read is ordered.
+		var stopErr error
+		go func() {
+			defer close(ch)
+			base := 0
+			buf := make([]string, 0, streamChunk)
+			flush := func() bool {
+				if len(buf) == 0 {
+					return true
+				}
+				recs := buf
+				buf = make([]string, 0, streamChunk)
+				res, err := m.MatchBatch(ictx, recs)
+				select {
+				case ch <- chunk{base: base, recs: recs, res: res, err: err}:
+				case <-ictx.Done():
+					stopErr = ictx.Err()
+					return false
+				}
+				base += len(recs)
+				return err == nil
+			}
+			for rec := range records {
+				if err := ictx.Err(); err != nil {
+					stopErr = err
+					return
+				}
+				buf = append(buf, rec)
+				if len(buf) >= streamChunk && !flush() {
+					return
+				}
+			}
+			flush()
+		}()
+		for c := range ch {
+			if c.err != nil {
+				yield(StreamMatch{Index: c.base, Match: noMatch()}, c.err)
+				return
+			}
+			for i := range c.res {
+				sm := StreamMatch{
+					Index:  c.base + i,
+					Record: c.recs[i],
+					Match:  c.res[i],
+					OK:     c.res[i].Left >= 0,
+				}
+				if !yield(sm, nil) {
+					return
+				}
+			}
+		}
+		// The producer may have stopped silently on cancellation; surface
+		// that as a final yielded error — but only when it actually cut
+		// the stream short (a deadline expiring after the last result was
+		// delivered is not a failure).
+		if stopErr != nil {
+			if err := ctx.Err(); err != nil {
+				yield(StreamMatch{Index: -1, Match: noMatch()}, err)
+			}
+		}
+	}
+}

@@ -199,6 +199,8 @@ func JoinMultiColumnTables(leftCols, rightCols [][]string, opt Options) (*Result
 		best = weighted(w)
 	}
 	best.NegativeRules = rules
+	best.BlockingBeta = opt.BlockingBeta
+	best.BallRadiusFactor = opt.BallRadiusFactor
 	for j, wj := range w {
 		if wj > 0 {
 			best.Columns = append(best.Columns, j)

@@ -1,13 +1,12 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 
-	"github.com/chu-data-lab/autofuzzyjoin-go/internal/blocking"
 	"github.com/chu-data-lab/autofuzzyjoin-go/internal/config"
-	"github.com/chu-data-lab/autofuzzyjoin-go/internal/negrule"
 	"github.com/chu-data-lab/autofuzzyjoin-go/internal/textproc"
 	"github.com/chu-data-lab/autofuzzyjoin-go/internal/tokenize"
 	"github.com/chu-data-lab/autofuzzyjoin-go/internal/weights"
@@ -26,6 +25,9 @@ type Program struct {
 	NegativeRules [][2]string `json:"negative_rules,omitempty"`
 	// BlockingBeta is the blocking factor to use when applying.
 	BlockingBeta float64 `json:"blocking_beta,omitempty"`
+	// BallRadiusFactor scales the precision-estimation ball when the
+	// program is compiled into a Matcher (0 means the Eq. 8 default of 2).
+	BallRadiusFactor float64 `json:"ball_radius_factor,omitempty"`
 	// Columns and Weights carry the multi-column selection (empty for
 	// single-column programs): Columns[i] is a column index into the
 	// original tables and Weights[i] its weight in the combined distance.
@@ -44,7 +46,11 @@ type ConfigurationSpec struct {
 
 // Program extracts the serializable program from a join result.
 func (r *Result) ToProgram() *Program {
-	p := &Program{Version: 1}
+	p := &Program{
+		Version:          1,
+		BlockingBeta:     r.BlockingBeta,
+		BallRadiusFactor: r.BallRadiusFactor,
+	}
 	for _, c := range r.Program {
 		spec := ConfigurationSpec{
 			Preprocess: c.Function.Pre.String(),
@@ -165,22 +171,36 @@ func parseDistance(s string) (config.Distance, error) {
 }
 
 // Apply runs a saved single-column program against a fresh (left, right)
-// pair: each configuration joins every right record to its closest blocked
-// candidate within the threshold (Eq. 1), the union resolves conflicts
-// toward the smallest threshold-normalized distance, and negative rules
-// veto pairs. No re-learning happens — this is the deployment path.
-// For programs learned by the multi-column search use ApplyMultiColumn.
+// pair: the program is compiled into a Matcher against left (see Compile)
+// and every right record is matched against it, reproducing the
+// learning-time union semantics — each configuration joins a record to
+// its closest blocked candidate within the threshold (Eq. 1), conflicts
+// resolve toward the higher estimated precision, and negative rules veto
+// pairs. No re-learning happens. Prefer Compile + MatchBatch when the
+// same reference table serves more than one call: Apply rebuilds the
+// matcher every time. For programs learned by the multi-column search use
+// ApplyMultiColumn.
 func (p *Program) Apply(left, right []string) ([]Join, error) {
-	return p.apply(left, right, func(f config.JoinFunction, corpora []*applyCorpus, l int32, r int) float64 {
-		c := corpora[0]
-		return f.Distance(c.profL[l], c.profR[r])
-	}, [][]string{left}, [][]string{right})
+	if len(p.Columns) > 0 {
+		return nil, errors.New("core: program was learned on multiple columns (non-empty Columns); Apply would silently drop the column selection and weights — use ApplyMultiColumn")
+	}
+	m, err := p.Compile(left, Options{})
+	if err != nil {
+		return nil, err
+	}
+	matches, err := m.MatchBatch(context.Background(), right)
+	if err != nil {
+		return nil, err
+	}
+	return matchesToJoins(matches), nil
 }
 
 // ApplyMultiColumn re-applies a program learned by the multi-column search:
 // the stored column selection and weights reconstruct the combined distance
 // Fw(l, r) = Σ w_j f(l[j], r[j]) of Definition 4.1. Columns of the fresh
-// tables are addressed by the stored column indexes.
+// tables are addressed by the stored column indexes. Prefer
+// CompileMultiColumn + MatchRows when the same reference table serves more
+// than one call.
 func (p *Program) ApplyMultiColumn(leftCols, rightCols [][]string) ([]Join, error) {
 	if len(p.Columns) == 0 || len(p.Columns) != len(p.Weights) {
 		return nil, errors.New("core: program has no multi-column weights; use Apply")
@@ -190,107 +210,53 @@ func (p *Program) ApplyMultiColumn(leftCols, rightCols [][]string) ([]Join, erro
 			return nil, fmt.Errorf("core: program column %d out of range", c)
 		}
 	}
-	leftCat := concatColumns(leftCols)
-	rightCat := concatColumns(rightCols)
-	return p.apply(leftCat, rightCat, func(f config.JoinFunction, corpora []*applyCorpus, l int32, r int) float64 {
-		var d float64
-		for i, cj := range p.Columns {
-			c := corpora[i]
-			if leftCols[cj][l] == "" && rightCols[cj][r] == "" {
-				d += p.Weights[i]
-				continue
-			}
-			d += p.Weights[i] * f.Distance(c.profL[l], c.profR[r])
+	if len(rightCols) != len(leftCols) {
+		return nil, fmt.Errorf("core: right table has %d columns, reference table %d; the blocking key concatenates the full row, so arities must agree", len(rightCols), len(leftCols))
+	}
+	nR := len(rightCols[0])
+	for _, col := range rightCols {
+		if len(col) != nR {
+			return nil, errColumnShape
 		}
-		return d
-	}, selectColumns(leftCols, p.Columns), selectColumns(rightCols, p.Columns))
-}
-
-// applyCorpus bundles the profile sets of one column.
-type applyCorpus struct {
-	profL, profR []*config.Profile
-}
-
-// apply is the shared deployment loop: blocking, negative-rule vetoes, and
-// the union-of-configurations scan with a caller-provided distance.
-func (p *Program) apply(leftKey, rightKey []string,
-	dist func(f config.JoinFunction, corpora []*applyCorpus, l int32, r int) float64,
-	leftCols, rightCols [][]string) ([]Join, error) {
-	configs, err := p.configurations()
+	}
+	m, err := p.CompileMultiColumn(leftCols, Options{})
 	if err != nil {
 		return nil, err
 	}
-	if len(leftKey) == 0 || len(rightKey) == 0 || len(configs) == 0 {
-		return nil, nil
-	}
-	beta := p.BlockingBeta
-	if beta <= 0 {
-		beta = DefaultBlockingBeta
-	}
-	ix := blocking.NewIndex(leftKey)
-	k := blocking.K(len(leftKey), beta)
-
-	rules := negrule.NewSet()
-	for _, pair := range p.NegativeRules {
-		rules.Add(pair[0], pair[1])
-	}
-
-	space := make([]config.JoinFunction, len(configs))
-	for i, c := range configs {
-		space[i] = c.Function
-	}
-	corpora := make([]*applyCorpus, len(leftCols))
-	for j := range leftCols {
-		corpus := config.NewCorpus(space, leftCols[j], rightCols[j])
-		corpora[j] = &applyCorpus{
-			profL: corpus.Profiles(leftCols[j]),
-			profR: corpus.Profiles(rightCols[j]),
+	rows := make([][]string, nR)
+	for i := range rows {
+		row := make([]string, len(rightCols))
+		for j := range rightCols {
+			row[j] = rightCols[j][i]
 		}
+		rows[i] = row
 	}
+	matches, err := m.MatchRows(context.Background(), rows)
+	if err != nil {
+		return nil, err
+	}
+	return matchesToJoins(matches), nil
+}
 
+// matchesToJoins converts an index-aligned Match slice into the sparse
+// Join form of the learning output. A program adds one configuration per
+// greedy iteration, so the iteration is recoverable as Config+1.
+func matchesToJoins(matches []Match) []Join {
 	var out []Join
-	sc := ix.NewScratch()
-	var cands []blocking.Candidate
-	for r := range rightKey {
-		cands = ix.AppendTopK(cands[:0], sc, rightKey[r], k, -1)
-		bestCfg, bestL := -1, int32(-1)
-		bestScore := 2.0 // threshold-normalized distance; lower is better
-		bestDist := 0.0
-		for ci, cfg := range configs {
-			cl, cd := int32(-1), 2.0
-			for _, cand := range cands {
-				if rules.Blocks(leftKey[cand.ID], rightKey[r]) {
-					continue
-				}
-				if d := dist(cfg.Function, corpora, cand.ID, r); d < cd {
-					cd = d
-					cl = cand.ID
-				}
-			}
-			if cl < 0 || cd > cfg.Threshold {
-				continue
-			}
-			score := 0.0
-			if cfg.Threshold > 0 {
-				score = cd / cfg.Threshold
-			}
-			if score < bestScore {
-				bestScore = score
-				bestCfg = ci
-				bestL = cl
-				bestDist = cd
-			}
+	for r, mt := range matches {
+		if mt.Left < 0 {
+			continue
 		}
-		if bestCfg >= 0 {
-			out = append(out, Join{
-				Right:    r,
-				Left:     int(bestL),
-				Distance: bestDist,
-				Config:   bestCfg,
-			})
-		}
+		out = append(out, Join{
+			Right:     r,
+			Left:      mt.Left,
+			Distance:  mt.Distance,
+			Precision: mt.Precision,
+			Config:    mt.Config,
+			Iteration: mt.Config + 1,
+		})
 	}
-	return out, nil
+	return out
 }
 
 // selectColumns picks the listed columns (in order) from a column set.

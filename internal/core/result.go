@@ -75,6 +75,11 @@ type Result struct {
 	// column indexes and their weights, aligned pairwise.
 	Columns []int
 	Weights []float64
+	// BlockingBeta and BallRadiusFactor record the resolved options the
+	// program was learned under, so ToProgram can serialize them and a
+	// compiled Matcher reproduces the learning geometry.
+	BlockingBeta     float64
+	BallRadiusFactor float64
 	// Timing records per-component running time.
 	Timing Timing
 }
@@ -88,11 +93,15 @@ func (r *Result) Explain(j Join) string {
 		return fmt.Sprintf("right[%d] -> left[%d]: unknown configuration", j.Right, j.Left)
 	}
 	c := r.Program[j.Config]
+	confidence := "no precision estimate"
+	if j.Precision > 0 {
+		confidence = fmt.Sprintf("estimated precision %.2f = 1/%d reference records in the 2θ-ball",
+			j.Precision, int(1/j.Precision+0.5))
+	}
 	return fmt.Sprintf(
-		"right[%d] -> left[%d]: %s distance %.4f <= threshold %.4f (configuration %d of %d, iteration %d); estimated precision %.2f = 1/%d reference records in the 2θ-ball",
+		"right[%d] -> left[%d]: %s distance %.4f <= threshold %.4f (configuration %d of %d, iteration %d); %s",
 		j.Right, j.Left, c.Function.Name(), j.Distance, c.Threshold,
-		j.Config+1, len(r.Program), j.Iteration, j.Precision,
-		int(1/j.Precision+0.5))
+		j.Config+1, len(r.Program), j.Iteration, confidence)
 }
 
 // Mapping returns the right→left assignment as a map.

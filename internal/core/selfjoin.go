@@ -60,6 +60,8 @@ func SelfJoin(records []string, opt Options) (*Result, error) {
 		selfJoin: true,
 	}
 	res := run(in, opt)
+	res.BlockingBeta = opt.BlockingBeta
+	res.BallRadiusFactor = opt.BallRadiusFactor
 	res.Timing.Blocking = blockingTime
 	return res, nil
 }

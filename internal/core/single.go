@@ -80,6 +80,8 @@ func JoinTables(left, right []string, opt Options) (*Result, error) {
 	}
 	res := run(in, opt)
 	res.NegativeRules = rules
+	res.BlockingBeta = opt.BlockingBeta
+	res.BallRadiusFactor = opt.BallRadiusFactor
 	res.Timing.Blocking = blockingTime
 	return res, nil
 }

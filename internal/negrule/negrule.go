@@ -13,6 +13,7 @@ import (
 	"sort"
 	"strings"
 
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/parallel"
 	"github.com/chu-data-lab/autofuzzyjoin-go/internal/textproc"
 )
 
@@ -71,17 +72,9 @@ func (s *Set) words(record string) []string {
 	if w, ok := s.wordCache[record]; ok {
 		return w
 	}
-	fields := strings.Fields(textproc.LowerStemRemovePunct.Apply(record))
-	sort.Strings(fields)
-	// dedupe in place
-	out := fields[:0]
-	for i, f := range fields {
-		if i == 0 || fields[i-1] != f {
-			out = append(out, f)
-		}
-	}
-	s.wordCache[record] = out
-	return out
+	w := AppendWordSet(nil, record)
+	s.wordCache[record] = w
+	return w
 }
 
 // symDiff returns the two one-sided word-set differences W(a)\W(b) and
@@ -134,4 +127,100 @@ func (s *Set) Blocks(l, r string) bool {
 		return false
 	}
 	return s.rules[NewRule(d1[0], d2[0])]
+}
+
+// AppendWordSet appends the sorted distinct word set of record under the
+// Algorithm-2 pre-processing to dst and returns it — the pure,
+// scratch-friendly form of the per-record computation Set caches. dst
+// should be empty (typically a reused buffer sliced to length zero).
+func AppendWordSet(dst []string, record string) []string {
+	dst = append(dst, strings.Fields(textproc.LowerStemRemovePunct.Apply(record))...)
+	sort.Strings(dst)
+	out := dst[:0]
+	for i, f := range dst {
+		if i == 0 || dst[i-1] != f {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Frozen is an immutable, goroutine-safe view of a rule set bound to a
+// fixed reference table: reference-side word sets are precomputed once,
+// query-side word sets are supplied by the caller (via AppendWordSet),
+// and lookups share no mutable state — unlike Set, whose word cache makes
+// it unsafe for concurrent use.
+type Frozen struct {
+	rules     map[Rule]bool
+	leftWords [][]string
+}
+
+// Freeze snapshots the rule set against a reference table, precomputing
+// each record's word set across up to parallelism goroutines (0 means
+// GOMAXPROCS). The returned Frozen is independent of later Set mutations.
+func (s *Set) Freeze(left []string, parallelism int) *Frozen {
+	f := &Frozen{
+		rules:     make(map[Rule]bool, len(s.rules)),
+		leftWords: make([][]string, len(left)),
+	}
+	for r := range s.rules {
+		f.rules[r] = true
+	}
+	parallel.Shard(len(left), parallel.Workers(parallelism, len(left)), func(_, start, end int) {
+		for i := start; i < end; i++ {
+			f.leftWords[i] = AppendWordSet(nil, left[i])
+		}
+	})
+	return f
+}
+
+// Len returns the number of frozen rules.
+func (f *Frozen) Len() int { return len(f.rules) }
+
+// Blocks reports whether the pair (reference record i, query with word set
+// qwords) is vetoed. qwords must come from AppendWordSet. Allocation-free
+// and safe for concurrent use.
+func (f *Frozen) Blocks(i int, qwords []string) bool {
+	if len(f.rules) == 0 {
+		return false
+	}
+	a, b := f.leftWords[i], qwords
+	var onlyA, onlyB string
+	nA, nB := 0, 0
+	ai, bi := 0, 0
+	for ai < len(a) && bi < len(b) {
+		switch {
+		case a[ai] == b[bi]:
+			ai++
+			bi++
+		case a[ai] < b[bi]:
+			onlyA = a[ai]
+			ai++
+			if nA++; nA > 1 {
+				return false
+			}
+		default:
+			onlyB = b[bi]
+			bi++
+			if nB++; nB > 1 {
+				return false
+			}
+		}
+	}
+	if nA += len(a) - ai; nA > 1 {
+		return false
+	}
+	if ai < len(a) {
+		onlyA = a[len(a)-1]
+	}
+	if nB += len(b) - bi; nB > 1 {
+		return false
+	}
+	if bi < len(b) {
+		onlyB = b[len(b)-1]
+	}
+	if nA != 1 || nB != 1 {
+		return false
+	}
+	return f.rules[NewRule(onlyA, onlyB)]
 }
