@@ -6,6 +6,13 @@
 //	autofj -left l.csv -right r.csv -column name -tau 0.9 -out joins.csv
 //	autofj -left l.csv -right r.csv -save-program prog.json
 //
+// The searched configuration space is selectable: -space full (default,
+// 140 functions), -space reduced (24), -space extended (148, adds the
+// Monge-Elkan and Smith-Waterman extension distances), or -space N for a
+// nested N-function subspace (-reduced remains a deprecated alias):
+//
+//	autofj -left l.csv -right r.csv -space extended
+//
 // Multi-column (all columns, automatic column selection):
 //
 //	autofj -left l.csv -right r.csv -multi -tau 0.9
@@ -63,7 +70,8 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		tau       = fs.Float64("tau", 0.9, "precision target")
 		steps     = fs.Int("steps", 50, "threshold discretization steps")
 		beta      = fs.Float64("beta", 1.0, "blocking factor")
-		reduced   = fs.Bool("reduced", false, "use the reduced 24-configuration space")
+		space     = fs.String("space", "", "configuration space: full (default), reduced, extended, or a positive integer N for a nested N-function subspace")
+		reduced   = fs.Bool("reduced", false, "deprecated alias for -space reduced")
 		parallel  = fs.Int("parallelism", 0, "worker goroutines (0 = all CPUs, 1 = sequential)")
 		outPath   = fs.String("out", "", "output CSV (default stdout)")
 		savePath  = fs.String("save-program", "", "after learning, write the join program JSON here")
@@ -97,8 +105,16 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		BlockingBeta:    *beta,
 		Parallelism:     *parallel,
 	}
+	spaceName := *space
 	if *reduced {
-		opt.Space = autofj.ReducedSpace()
+		if spaceName != "" && spaceName != "reduced" {
+			return fmt.Errorf("-reduced conflicts with -space %s", spaceName)
+		}
+		fmt.Fprintln(stderr, "autofj: -reduced is deprecated; use -space reduced")
+		spaceName = "reduced"
+	}
+	if opt.Space, err = spaceFor(spaceName); err != nil {
+		return err
 	}
 
 	// Phase 1: obtain a program — load a saved one, or learn it now.
@@ -221,6 +237,31 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		})
 	}
 	return result.WriteCSV(out)
+}
+
+// spaceFor resolves the -space flag: the full Table 1 space (default),
+// the paper's reduced 24-function space, the extended 148-function space
+// with the ME/SW extension distances, or a nested N-function subspace
+// for configuration-space-size experiments.
+func spaceFor(name string) ([]autofj.JoinFunction, error) {
+	switch name {
+	case "", "full":
+		return nil, nil // Options' default: the full 140-function space
+	case "reduced":
+		return autofj.ReducedSpace(), nil
+	case "extended":
+		return autofj.ExtendedSpace(), nil
+	}
+	n, err := strconv.Atoi(name)
+	if err != nil || n < 1 {
+		return nil, fmt.Errorf("invalid -space %q: want full, reduced, extended, or a positive function count", name)
+	}
+	if full := len(autofj.FullSpace()); n > full {
+		// SpaceOfSize would silently clamp; surface the ceiling instead so
+		// "-space 148" does not quietly run without the extension distances.
+		return nil, fmt.Errorf("-space %d exceeds the %d-function full space; use -space full or -space extended", n, full)
+	}
+	return autofj.SpaceOfSize(n), nil
 }
 
 // joinTable is the shared output schema of the learn and apply modes.

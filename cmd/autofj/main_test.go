@@ -146,6 +146,70 @@ func TestServeStdin(t *testing.T) {
 	}
 }
 
+// TestSpaceFlag covers -space resolution: named spaces, numeric
+// subspaces, the deprecated -reduced alias, and the error paths.
+func TestSpaceFlag(t *testing.T) {
+	cases := []struct {
+		name string
+		want int // expected function count; 0 means "default full space"
+	}{
+		{"", 0}, {"full", 0}, {"reduced", 24}, {"extended", 148}, {"17", 17},
+	}
+	for _, c := range cases {
+		space, err := spaceFor(c.name)
+		if err != nil {
+			t.Fatalf("spaceFor(%q): %v", c.name, err)
+		}
+		if len(space) != c.want {
+			t.Errorf("spaceFor(%q) = %d functions, want %d", c.name, len(space), c.want)
+		}
+	}
+	for _, bad := range []string{"tiny", "-3", "0", "1.5", "141", "148"} {
+		if _, err := spaceFor(bad); err == nil {
+			t.Errorf("spaceFor(%q) accepted", bad)
+		}
+	}
+
+	// End to end: -space reduced must behave exactly like the deprecated
+	// -reduced alias, which still works but warns.
+	dir := t.TempDir()
+	leftPath, rightPath := cliTables(t, dir)
+	spaceOut := filepath.Join(dir, "space.csv")
+	aliasOut := filepath.Join(dir, "alias.csv")
+	if err := run([]string{
+		"-left", leftPath, "-right", rightPath, "-tau", "0.7", "-steps", "15",
+		"-space", "reduced", "-out", spaceOut,
+	}, strings.NewReader(""), io.Discard, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	var errBuf bytes.Buffer
+	if err := run([]string{
+		"-left", leftPath, "-right", rightPath, "-tau", "0.7", "-steps", "15",
+		"-reduced", "-out", aliasOut,
+	}, strings.NewReader(""), io.Discard, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errBuf.String(), "deprecated") {
+		t.Errorf("-reduced did not warn: %s", errBuf.String())
+	}
+	got, want := readJoinCSV(t, aliasOut), readJoinCSV(t, spaceOut)
+	if len(got) != len(want) || len(want) == 0 {
+		t.Fatalf("alias joins %v != -space reduced joins %v", got, want)
+	}
+	for r, l := range want {
+		if got[r] != l {
+			t.Errorf("right %s: -space reduced left %s, -reduced left %s", r, l, got[r])
+		}
+	}
+
+	// Conflicting selections must be rejected.
+	if err := run([]string{
+		"-left", leftPath, "-right", rightPath, "-reduced", "-space", "full",
+	}, strings.NewReader(""), io.Discard, io.Discard); err == nil {
+		t.Error("-reduced with conflicting -space accepted")
+	}
+}
+
 // TestCLIFlagValidation covers the mode-flag error paths.
 func TestCLIFlagValidation(t *testing.T) {
 	dir := t.TempDir()

@@ -11,24 +11,34 @@ import (
 // feeding the Best-Static-Join-function (BSJ) comparison of Table 2.
 func StaticJoins(left, right []string, space []config.JoinFunction, cands [][]int32) [][]metrics.ScoredJoin {
 	corpus := config.NewCorpus(space, left, right)
-	profL := corpus.Profiles(left)
-	profR := corpus.Profiles(right)
+	profL := corpus.Profiles(left, 0)
+	profR := corpus.Profiles(right, 0)
+	// Pair-major: one fused evaluation per candidate pair scores every
+	// function of the space at once (see config.Evaluator).
+	ev := config.NewEvaluator(space)
+	sc := ev.NewScratch()
+	row := make([]float64, len(space))
+	bestL := make([]int32, len(space))
+	bestD := make([]float64, len(space))
 	out := make([][]metrics.ScoredJoin, len(space))
-	for fi, f := range space {
-		var joins []metrics.ScoredJoin
-		for r, cs := range cands {
-			bestL, bestD := int32(-1), 2.0
-			for _, l := range cs {
-				if d := f.Distance(profL[l], profR[r]); d < bestD {
-					bestD = d
-					bestL = l
+	for r, cs := range cands {
+		for fi := range space {
+			bestL[fi], bestD[fi] = -1, 2.0
+		}
+		for _, l := range cs {
+			ev.Distances(profL[l], profR[r], sc, row)
+			for fi := range space {
+				if row[fi] < bestD[fi] {
+					bestD[fi] = row[fi]
+					bestL[fi] = l
 				}
 			}
-			if bestL >= 0 && bestD < 1 {
-				joins = append(joins, metrics.ScoredJoin{Right: r, Left: int(bestL), Score: 1 - bestD})
+		}
+		for fi := range space {
+			if bestL[fi] >= 0 && bestD[fi] < 1 {
+				out[fi] = append(out[fi], metrics.ScoredJoin{Right: r, Left: int(bestL[fi]), Score: 1 - bestD[fi]})
 			}
 		}
-		out[fi] = joins
 	}
 	return out
 }
@@ -60,29 +70,35 @@ func UpperBoundRecall(left, right []string, space []config.JoinFunction, cands [
 		return 0
 	}
 	corpus := config.NewCorpus(space, left, right)
-	profL := corpus.Profiles(left)
-	profR := corpus.Profiles(right)
+	profL := corpus.Profiles(left, 0)
+	profR := corpus.Profiles(right, 0)
+	ev := config.NewEvaluator(space)
+	sc := ev.NewScratch()
+	row := make([]float64, len(space))
+	bestL := make([]int32, len(space))
+	bestD := make([]float64, len(space))
 	feasible := 0
 	for r, tl := range truth {
 		if r >= len(cands) {
 			continue
 		}
-		found := false
-		for _, f := range space {
-			bestL, bestD := int32(-1), 2.0
-			for _, l := range cands[r] {
-				if d := f.Distance(profL[l], profR[r]); d < bestD {
-					bestD = d
-					bestL = l
+		for fi := range space {
+			bestL[fi], bestD[fi] = -1, 2.0
+		}
+		for _, l := range cands[r] {
+			ev.Distances(profL[l], profR[r], sc, row)
+			for fi := range space {
+				if row[fi] < bestD[fi] {
+					bestD[fi] = row[fi]
+					bestL[fi] = l
 				}
 			}
-			if int(bestL) == tl && bestD < 1 {
-				found = true
+		}
+		for fi := range space {
+			if int(bestL[fi]) == tl && bestD[fi] < 1 {
+				feasible++
 				break
 			}
-		}
-		if found {
-			feasible++
 		}
 	}
 	return float64(feasible) / float64(len(truth))

@@ -7,6 +7,15 @@
 // distance-function). Tokenization and weights apply only to set-based
 // distances, so the full space of Table 1 has
 // 4×2 (char) + 4×2×2×8 (set) + 4×1 (embedding) = 140 join functions.
+//
+// Scoring comes in two forms. JoinFunction.Distance evaluates one
+// function on one profile pair — the simple compatibility path. The
+// Evaluator is the hot path: it compiles a space into
+// representation-keyed evaluation plans and fills a dense per-pair
+// distance vector for ALL functions at once, sharing one sorted-merge
+// per (pre, tok, weight) representation and one rune conversion per
+// processed-string pair via the fused kernels in internal/distance. The
+// two are bit-identical by construction and by test.
 package config
 
 import (

@@ -119,8 +119,8 @@ func TestProfileDistances(t *testing.T) {
 	L := []string{"2008 lsu tigers football team", "2008 lsu tigers baseball team"}
 	R := []string{"2008 LSU Tigers Football", "2008 lsu tigers swimming team"}
 	c := NewCorpus(space, L, R)
-	lp := c.Profiles(L)
-	rp := c.Profiles(R)
+	lp := c.Profiles(L, 1)
+	rp := c.Profiles(R, 1)
 
 	for _, f := range space {
 		for _, l := range lp {

@@ -1,0 +1,158 @@
+package config
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// randRecord assembles a record from a vocabulary that exercises
+// stemming, punctuation removal, q-gram overlaps, and empty strings.
+func randRecord(rng *rand.Rand) string {
+	vocab := []string{
+		"northern", "nothern", "museum", "museums", "institute", "of",
+		"history", "Hist.", "O'Brien-Smith", "2003", "alpha", "squad",
+		"unit", "running", "runner", "ran", "straße", "café",
+	}
+	n := rng.Intn(7)
+	parts := make([]string, n)
+	for i := range parts {
+		parts[i] = vocab[rng.Intn(len(vocab))]
+	}
+	return strings.Join(parts, " ")
+}
+
+// TestEvaluatorMatchesDistance: the fused Evaluator must be bit-identical
+// to JoinFunction.Distance for every function of the full and extended
+// spaces over randomized record pairs — the equivalence that lets the
+// engine switch from function-major to pair-major evaluation.
+func TestEvaluatorMatchesDistance(t *testing.T) {
+	spaces := map[string][]JoinFunction{
+		"Space":         Space(),
+		"ExtendedSpace": ExtendedSpace(),
+		"ReducedSpace":  ReducedSpace(),
+		"SpaceOfSize17": SpaceOfSize(17),
+	}
+	for name, space := range spaces {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			var corpusRecs []string
+			for i := 0; i < 40; i++ {
+				corpusRecs = append(corpusRecs, randRecord(rng))
+			}
+			corpus := NewCorpus(space, corpusRecs)
+			profs := corpus.Profiles(corpusRecs, 1)
+
+			ev := NewEvaluator(space)
+			if ev.NumFunctions() != len(space) {
+				t.Fatalf("NumFunctions = %d, want %d", ev.NumFunctions(), len(space))
+			}
+			sc := ev.NewScratch()
+			out := make([]float64, len(space))
+			for trial := 0; trial < 300; trial++ {
+				l := profs[rng.Intn(len(profs))]
+				r := profs[rng.Intn(len(profs))]
+				ev.Distances(l, r, sc, out)
+				for fi, f := range space {
+					if want := f.Distance(l, r); out[fi] != want {
+						t.Fatalf("trial %d fn %s (l=%q r=%q): fused %v != single %v",
+							trial, f.Name(), l.Raw, r.Raw, out[fi], want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEvaluatorGroupCounts pins the fusion factor the refactor is built
+// on: the 140-function space must collapse to 16 set merges, 4 char
+// groups, and 4 embedding groups per pair.
+func TestEvaluatorGroupCounts(t *testing.T) {
+	ev := NewEvaluator(Space())
+	if len(ev.set) != 16 {
+		t.Errorf("set plans = %d, want 16 (4 pre × 2 tok × 2 weights)", len(ev.set))
+	}
+	if len(ev.char) != 4 {
+		t.Errorf("char plans = %d, want 4 (one per pre)", len(ev.char))
+	}
+	if len(ev.emb) != 4 {
+		t.Errorf("embedding plans = %d, want 4 (one per pre)", len(ev.emb))
+	}
+	for _, g := range ev.set {
+		if len(g.fns) != 8 {
+			t.Errorf("set plan %v/%v/%v fuses %d functions, want 8", g.pre, g.tok, g.wt, len(g.fns))
+		}
+	}
+}
+
+// TestEvaluatorDuplicateFunctions: a space listing the same function
+// twice must fill both output slots.
+func TestEvaluatorDuplicateFunctions(t *testing.T) {
+	f := Space()[0]
+	space := []JoinFunction{f, f}
+	corpus := NewCorpus(space, []string{"a b", "a c"})
+	profs := corpus.Profiles([]string{"a b", "a c"}, 1)
+	ev := NewEvaluator(space)
+	out := []float64{-1, -1}
+	ev.Distances(profs[0], profs[1], ev.NewScratch(), out)
+	if out[0] != out[1] || out[0] != f.Distance(profs[0], profs[1]) {
+		t.Fatalf("duplicate slots differ: %v", out)
+	}
+}
+
+// FuzzEvaluator cross-checks fused vs single-function scoring on
+// arbitrary string pairs under the extended space (every kernel family).
+func FuzzEvaluator(f *testing.F) {
+	f.Add("north museum of history", "nothern museum of history")
+	f.Add("", "x")
+	f.Add("O'Brien-Smith 2003", "o brien smith 2003")
+	f.Fuzz(func(t *testing.T, a, b string) {
+		if len(a) > 64 || len(b) > 64 {
+			return // quadratic kernels; keep the fuzz corpus fast
+		}
+		space := ExtendedSpace()
+		corpus := NewCorpus(space, []string{a, b})
+		profs := corpus.Profiles([]string{a, b}, 1)
+		ev := NewEvaluator(space)
+		out := make([]float64, len(space))
+		ev.Distances(profs[0], profs[1], ev.NewScratch(), out)
+		for fi, fn := range space {
+			if want := fn.Distance(profs[0], profs[1]); out[fi] != want {
+				t.Fatalf("fn %s on (%q, %q): fused %v != single %v",
+					fn.Name(), a, b, out[fi], want)
+			}
+		}
+	})
+}
+
+// BenchmarkEvaluator measures the fused per-pair evaluation of the full
+// space against the function-major loop it replaces.
+func BenchmarkEvaluator(b *testing.B) {
+	space := Space()
+	recs := make([]string, 64)
+	rng := rand.New(rand.NewSource(1))
+	for i := range recs {
+		recs[i] = fmt.Sprintf("%s %d", randRecord(rng), i%9)
+	}
+	corpus := NewCorpus(space, recs)
+	profs := corpus.Profiles(recs, 0)
+	out := make([]float64, len(space))
+	b.Run("fused", func(b *testing.B) {
+		ev := NewEvaluator(space)
+		sc := ev.NewScratch()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ev.Distances(profs[i%len(profs)], profs[(i+7)%len(profs)], sc, out)
+		}
+	})
+	b.Run("function-major", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			l, r := profs[i%len(profs)], profs[(i+7)%len(profs)]
+			for fi, f := range space {
+				out[fi] = f.Distance(l, r)
+			}
+		}
+	})
+}

@@ -3,6 +3,7 @@ package config
 import (
 	"github.com/chu-data-lab/autofuzzyjoin-go/internal/distance"
 	"github.com/chu-data-lab/autofuzzyjoin-go/internal/embed"
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/parallel"
 	"github.com/chu-data-lab/autofuzzyjoin-go/internal/textproc"
 	"github.com/chu-data-lab/autofuzzyjoin-go/internal/tokenize"
 	"github.com/chu-data-lab/autofuzzyjoin-go/internal/weights"
@@ -105,12 +106,17 @@ func (c *Corpus) Profile(s string) *Profile {
 	return p
 }
 
-// Profiles builds profiles for a whole record collection.
-func (c *Corpus) Profiles(records []string) []*Profile {
+// Profiles builds profiles for a whole record collection, sharding the
+// records across up to parallelism workers (0 means GOMAXPROCS, 1 forces
+// sequential). Records are independent, so every parallelism level
+// produces identical profiles.
+func (c *Corpus) Profiles(records []string, parallelism int) []*Profile {
 	out := make([]*Profile, len(records))
-	for i, s := range records {
-		out[i] = c.Profile(s)
-	}
+	parallel.Shard(len(records), parallel.Workers(parallelism, len(records)), func(_, start, end int) {
+		for i := start; i < end; i++ {
+			out[i] = c.Profile(records[i])
+		}
+	})
 	return out
 }
 
@@ -120,6 +126,10 @@ func (p *Profile) Processed(pre textproc.Option) string { return p.proc[pre] }
 // Distance evaluates the join function on a (left, right) profile pair.
 // Directional distances (ID and the Contain-* family) treat l as the
 // reference-side record and r as the query-side record, per §2.2.
+//
+// This is the one-function-at-a-time compatibility path; code that needs
+// many functions on the same pair should use an Evaluator, which shares
+// the per-representation kernel work and produces bit-identical values.
 func (f JoinFunction) Distance(l, r *Profile) float64 {
 	switch f.Dist {
 	case ED:

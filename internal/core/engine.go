@@ -3,8 +3,6 @@ package core
 import (
 	"math"
 	"sort"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"github.com/chu-data-lab/autofuzzyjoin-go/internal/config"
@@ -33,11 +31,13 @@ type engineInput struct {
 	// left record l (self excluded).
 	lrCand [][]int32
 	llCand [][]int32
-	// lrDist returns the distance under function fi between right record r
-	// and its ci-th candidate; llDist the distance between left record l
-	// (ball center) and its ci-th candidate.
-	lrDist func(fi, r, ci int) float64
-	llDist func(fi, l, ci int) float64
+	// newEval returns a fresh per-worker fused distance oracle. Pair-major
+	// evaluation is the engine's whole performance story: one oracle call
+	// scores a candidate pair under EVERY join function at once, sharing
+	// the representation work (sorted-merges, rune conversions, dot
+	// products) that a function-at-a-time loop would redo up to 140 times
+	// per pair.
+	newEval func() pairEval
 	// selfJoin marks that right record r IS left record r (same table):
 	// the 2θ-ball count around a join target must then exclude the query
 	// record itself, which would otherwise poison every estimate with a
@@ -45,6 +45,17 @@ type engineInput struct {
 	selfJoin bool
 	// ballFactor scales the estimation ball radius (2.0 per Eq. 8).
 	ballFactor float64
+}
+
+// pairEval is a per-worker fused distance oracle: lr fills out[fi] with
+// the distance under join function fi between right record r and its
+// ci-th blocked candidate; ll does the same between left record l (a
+// ball center) and its ci-th L-L candidate. out has len(space) entries.
+// Implementations may carry scratch, so oracles must not be shared
+// across goroutines — every worker gets its own from engineInput.newEval.
+type pairEval struct {
+	lr func(r, ci int, out []float64)
+	ll func(l, ci int, out []float64)
 }
 
 // preparedFn is the pre-computation of Algorithm 1 lines 3–4 for one join
@@ -67,217 +78,319 @@ type preparedFn struct {
 	joinable []int32
 }
 
-// prepare runs the distance computation and precision pre-computation for
-// every function in the space, fanning out across CPUs. Parallelism is
-// two-level: up to parallelism workers each take whole functions (their
-// pre-computations are independent), and any spare capacity — a space
-// smaller than the worker budget, e.g. a single-function or reduced-space
-// run, or a budget that does not divide evenly — is pushed down into each
-// prepareFn as intra-function sharding over right records and ball
-// centers (the first parallelism%outer workers carry the remainder).
-// Functions with no joinable pair are nil. The output is bit-identical
-// for every parallelism level.
-func prepare(in *engineInput, parallelism int) []*preparedFn {
-	fns := make([]*preparedFn, len(in.space))
-	if len(in.space) == 0 {
-		return fns
-	}
-	parallelism = parallel.Resolve(parallelism)
-	outer := parallelism
-	if outer > len(in.space) {
-		outer = len(in.space)
-	}
-	if outer < 1 {
-		outer = 1
-	}
-	inner, extra := parallelism/outer, parallelism%outer
-	if outer <= 1 {
-		for fi := range in.space {
-			fns[fi] = prepareFn(in, fi, inner)
-		}
-		return fns
-	}
-	var next int64 = -1
-	var wg sync.WaitGroup
-	for w := 0; w < outer; w++ {
-		innerW := inner
-		if w < extra {
-			innerW++
-		}
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				fi := int(atomic.AddInt64(&next, 1))
-				if fi >= len(in.space) {
-					return
-				}
-				fns[fi] = prepareFn(in, fi, innerW)
-			}
-		}()
-	}
-	wg.Wait()
-	return fns
+// ballPlan is the per-function bookkeeping that connects the pair-major
+// center pass (phase 3) back to the function's joinable rows: which ball
+// centers the function needs, and which joinable rows (by index into
+// preparedFn.joinable) hang off each center.
+type ballPlan struct {
+	centers []int32 // ascending left ids needing a ball under this fn
+	rowOff  []int32 // group offsets into rows, len(centers)+1
+	rows    []int32 // joinable indexes grouped by center, ascending inside a group
+	arena   []uint8 // backing storage for preparedFn.cnt, steps per row
 }
 
-// prepareFn pre-computes one function with up to workers goroutines for
-// its distance loops. The expensive phases — the per-right-record closest-
-// candidate scan and the L–L ball construction — shard across workers over
-// disjoint index ranges; the cheap counting phase stays sequential so the
-// floating-point accumulation order (ascending r) never changes.
-func prepareFn(in *engineInput, fi, workers int) *preparedFn {
+// centerIndex locates l in the ascending centers list.
+func centerIndex(centers []int32, l int32) int32 {
+	lo, hi := 0, len(centers)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if centers[mid] < l {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return int32(lo)
+}
+
+// fnCenter addresses one (function, center) pair of the phase-3 pass.
+type fnCenter struct {
+	fi int32 // function index
+	ci int32 // index into that function's ballPlan.centers
+}
+
+// prepare runs the distance computation and precision pre-computation for
+// every function in the space, fanning out across CPUs. Evaluation is
+// PAIR-MAJOR: each candidate pair is scored once under all functions by a
+// fused pairEval oracle, instead of once per function — for the full
+// 140-function space that collapses ~16 sparse-vector merges and 4
+// processed-string rune conversions per pair that the function-major
+// loop recomputed per function. Four phases:
+//
+//  1. sharded over right records: one fused evaluation per L-R candidate
+//     pair updates every function's closest-candidate scan at once;
+//  2. sharded over functions: threshold grids, grid positions, joinable
+//     rows, and the per-function ball-center grouping;
+//  3. sharded over the UNION of ball centers: one fused evaluation per
+//     L-L candidate pair feeds the sorted ball of every function that
+//     needs that center, then the 2θ-ball counts of its joinable rows;
+//  4. sharded over functions: the totalP/totalCnt profit accumulators,
+//     summed sequentially in ascending right-record order so the
+//     floating-point accumulation order never depends on scheduling.
+//
+// Functions with no joinable pair are nil. The output is bit-identical
+// for every parallelism level, and bit-identical to the function-major
+// reference implementation (see prepare_baseline_test.go).
+func prepare(in *engineInput, parallelism int) []*preparedFn {
+	numFn := len(in.space)
+	fns := make([]*preparedFn, numFn)
+	if numFn == 0 {
+		return fns
+	}
+	workers := parallel.Resolve(parallelism)
 	s := in.steps
-	fn := &preparedFn{
-		bestL:    make([]int32, in.nR),
-		bestD:    make([]float64, in.nR),
-		kMin:     make([]int32, in.nR),
-		cnt:      make([][]uint8, in.nR),
-		totalP:   make([]float64, s),
-		totalCnt: make([]int, s),
+	for fi := range fns {
+		fns[fi] = &preparedFn{
+			bestL:    make([]int32, in.nR),
+			bestD:    make([]float64, in.nR),
+			kMin:     make([]int32, in.nR),
+			cnt:      make([][]uint8, in.nR),
+			totalP:   make([]float64, s),
+			totalCnt: make([]int, s),
+		}
 	}
-	if workers < 1 {
-		workers = 1
-	}
-	// Phase 1: closest candidate per right record. Rows are independent;
-	// per-worker maxima merge exactly because max is order-free.
-	caps := make([]float64, max(workers, 1))
-	joins := make([]bool, max(workers, 1))
-	parallel.Shard(in.nR, workers, func(w, start, end int) {
+
+	// Phase 1 (pair-major, sharded over right records): closest candidate
+	// per (function, right record). Rows are independent; within a row,
+	// candidates are scanned in blocking order with a strict <, so the
+	// first minimum wins exactly as in a function-major scan.
+	parallel.Shard(in.nR, workers, func(_, start, end int) {
+		ev := in.newEval()
+		d := make([]float64, numFn)
 		for r := start; r < end; r++ {
-			fn.bestL[r] = -1
-			fn.bestD[r] = math.Inf(1)
-			fn.kMin[r] = int32(s)
-			for ci := range in.lrCand[r] {
-				if d := in.lrDist(fi, r, ci); d < fn.bestD[r] {
-					fn.bestD[r] = d
-					fn.bestL[r] = in.lrCand[r][ci]
-				}
+			for _, fn := range fns {
+				fn.bestL[r] = -1
+				fn.bestD[r] = math.Inf(1)
+				fn.kMin[r] = int32(s)
 			}
-			if fn.bestL[r] >= 0 && fn.bestD[r] < unjoinableDist {
-				joins[w] = true
-				if fn.bestD[r] > caps[w] {
-					caps[w] = fn.bestD[r]
+			cands := in.lrCand[r]
+			for ci := range cands {
+				ev.lr(r, ci, d)
+				l := cands[ci]
+				for fi, fn := range fns {
+					if d[fi] < fn.bestD[r] {
+						fn.bestD[r] = d[fi]
+						fn.bestL[r] = l
+					}
 				}
 			}
 		}
 	})
-	dCap := 0.0
-	anyJoinable := false
-	for w := range caps {
-		anyJoinable = anyJoinable || joins[w]
-		if caps[w] > dCap {
-			dCap = caps[w]
-		}
-	}
-	if !anyJoinable {
-		return nil
-	}
-	fn.thresholds = make([]float64, s)
-	for k := 0; k < s; k++ {
-		fn.thresholds[k] = dCap * float64(k+1) / float64(s)
-	}
-	// Phase 2 (cheap, sequential): grid position of every joinable row and
-	// the set of ball centers the estimates will need.
-	needBall := make([]bool, in.nL)
-	for r := 0; r < in.nR; r++ {
-		d := fn.bestD[r]
-		if fn.bestL[r] < 0 || d >= unjoinableDist {
-			continue
-		}
-		var kMin int32
-		if dCap > 0 {
-			kMin = int32(math.Ceil(d*float64(s)/dCap)) - 1
-			if kMin < 0 {
-				kMin = 0
+
+	// Phase 2 (sharded over functions): threshold grid, grid position of
+	// every joinable row, and the ball centers grouped for phase 3.
+	plans := make([]*ballPlan, numFn)
+	parallel.Shard(numFn, workers, func(_, start, end int) {
+		for fi := start; fi < end; fi++ {
+			fn := fns[fi]
+			dCap := 0.0
+			anyJoinable := false
+			for r := 0; r < in.nR; r++ {
+				if fn.bestL[r] >= 0 && fn.bestD[r] < unjoinableDist {
+					anyJoinable = true
+					if fn.bestD[r] > dCap {
+						dCap = fn.bestD[r]
+					}
+				}
 			}
-			// Float round-off can land one step early; repair.
-			for kMin < int32(s) && fn.thresholds[kMin] < d {
-				kMin++
+			if !anyJoinable {
+				fns[fi] = nil
+				continue
 			}
-		}
-		if kMin >= int32(s) {
-			continue
-		}
-		fn.kMin[r] = kMin
-		needBall[fn.bestL[r]] = true
-		fn.joinable = append(fn.joinable, int32(r))
-	}
-	if len(fn.joinable) == 0 {
-		return nil
-	}
-	// Phase 3: sorted L–L ball distances for every needed center, sharded
-	// across workers into one flat arena (no per-center allocation).
-	centers := make([]int32, 0, len(fn.joinable))
-	ballOf := make([]int32, in.nL)
-	for l := range needBall {
-		if needBall[l] {
-			ballOf[l] = int32(len(centers))
-			centers = append(centers, int32(l))
-		}
-	}
-	ballOff := make([]int32, len(centers)+1)
-	for i, l := range centers {
-		ballOff[i+1] = ballOff[i] + int32(len(in.llCand[l]))
-	}
-	ballArena := make([]float64, ballOff[len(centers)])
-	parallel.Shard(len(centers), workers, func(_, start, end int) {
-		for i := start; i < end; i++ {
-			l := centers[i]
-			seg := ballArena[ballOff[i]:ballOff[i+1]]
-			for ci := range seg {
-				seg[ci] = in.llDist(fi, int(l), ci)
+			fn.thresholds = make([]float64, s)
+			for k := 0; k < s; k++ {
+				fn.thresholds[k] = dCap * float64(k+1) / float64(s)
 			}
-			sort.Float64s(seg)
+			needBall := make([]bool, in.nL)
+			nCenters := 0
+			for r := 0; r < in.nR; r++ {
+				d := fn.bestD[r]
+				if fn.bestL[r] < 0 || d >= unjoinableDist {
+					continue
+				}
+				var kMin int32
+				if dCap > 0 {
+					kMin = int32(math.Ceil(d*float64(s)/dCap)) - 1
+					if kMin < 0 {
+						kMin = 0
+					}
+					// Float round-off can land one step early; repair.
+					for kMin < int32(s) && fn.thresholds[kMin] < d {
+						kMin++
+					}
+				}
+				if kMin >= int32(s) {
+					continue
+				}
+				fn.kMin[r] = kMin
+				if !needBall[fn.bestL[r]] {
+					needBall[fn.bestL[r]] = true
+					nCenters++
+				}
+				fn.joinable = append(fn.joinable, int32(r))
+			}
+			if len(fn.joinable) == 0 {
+				fns[fi] = nil
+				continue
+			}
+			// Group joinable rows by their ball center so phase 3 can
+			// consume a center's sorted ball for all its rows at once.
+			plan := &ballPlan{
+				centers: make([]int32, 0, nCenters),
+				arena:   make([]uint8, s*len(fn.joinable)),
+			}
+			for l, need := range needBall {
+				if need {
+					plan.centers = append(plan.centers, int32(l))
+				}
+			}
+			plan.rowOff = make([]int32, len(plan.centers)+1)
+			for _, r32 := range fn.joinable {
+				plan.rowOff[centerIndex(plan.centers, fn.bestL[r32])+1]++
+			}
+			for i := 0; i < len(plan.centers); i++ {
+				plan.rowOff[i+1] += plan.rowOff[i]
+			}
+			plan.rows = make([]int32, len(fn.joinable))
+			fill := make([]int32, len(plan.centers))
+			for ji, r32 := range fn.joinable {
+				c := centerIndex(plan.centers, fn.bestL[r32])
+				plan.rows[plan.rowOff[c]+fill[c]] = int32(ji)
+				fill[c]++
+			}
+			plans[fi] = plan
 		}
 	})
-	// Phase 4 (sequential, ascending r): 2θ-ball counts and the totals
-	// behind the O(1) profit lookups. One arena backs every row's counts.
-	cntArena := make([]uint8, s*len(fn.joinable))
+
+	// Union of ball centers across functions plus, per center, the list
+	// of functions that need it (built sequentially: it is a cheap index
+	// pass, and shared append targets must not race).
+	gIdx := make([]int32, in.nL)
+	for i := range gIdx {
+		gIdx[i] = -1
+	}
+	var centers []int32
+	for fi := range fns {
+		if fns[fi] == nil {
+			continue
+		}
+		for _, l := range plans[fi].centers {
+			if gIdx[l] < 0 {
+				gIdx[l] = int32(len(centers))
+				centers = append(centers, l)
+			}
+		}
+	}
+	perCenter := make([][]fnCenter, len(centers))
+	for fi := range fns {
+		if fns[fi] == nil {
+			continue
+		}
+		for ci, l := range plans[fi].centers {
+			gi := gIdx[l]
+			perCenter[gi] = append(perCenter[gi], fnCenter{fi: int32(fi), ci: int32(ci)})
+		}
+	}
+
+	// Phase 3 (pair-major, sharded over the center union): every L-L
+	// candidate pair of a center is evaluated ONCE under all functions;
+	// each function needing the center then sorts its slice of the
+	// per-center distance matrix and counts the 2θ-balls of its rows.
+	// Writes are disjoint — every (function, joinable row) belongs to
+	// exactly one center — so scheduling cannot change the output.
 	factor := in.ballFactor
 	if factor <= 0 {
 		factor = 2
 	}
-	for ji, r32 := range fn.joinable {
-		r := int(r32)
-		kMin := fn.kMin[r]
-		bc := ballOf[fn.bestL[r]]
-		ball := ballArena[ballOff[bc]:ballOff[bc+1]]
-		// In self-join mode the query record r is itself in the reference
-		// table; since θ_k >= d it always falls inside the ball and must
-		// be discounted when it is among l's blocked candidates.
-		selfDiscount := 0
-		if in.selfJoin {
-			for _, id := range in.llCand[fn.bestL[r]] {
-				if int(id) == r {
-					selfDiscount = 1
-					break
+	parallel.Shard(len(centers), workers, func(_, start, end int) {
+		ev := in.newEval()
+		row := make([]float64, numFn)
+		var mat []float64  // per-center [numFn][nCand] distances
+		var ball []float64 // one function's sorted ball
+		for gi := start; gi < end; gi++ {
+			l := int(centers[gi])
+			nCand := len(in.llCand[l])
+			if cap(mat) < numFn*nCand {
+				mat = make([]float64, numFn*nCand)
+			}
+			mat = mat[:numFn*nCand]
+			for ci := 0; ci < nCand; ci++ {
+				ev.ll(l, ci, row)
+				for fi := 0; fi < numFn; fi++ {
+					mat[fi*nCand+ci] = row[fi]
+				}
+			}
+			for _, fc := range perCenter[gi] {
+				fn, plan := fns[fc.fi], plans[fc.fi]
+				ball = append(ball[:0], mat[int(fc.fi)*nCand:(int(fc.fi)+1)*nCand]...)
+				sort.Float64s(ball)
+				for _, ji := range plan.rows[plan.rowOff[fc.ci]:plan.rowOff[fc.ci+1]] {
+					countBall(in, fn, plan.arena, int(ji), ball, factor)
 				}
 			}
 		}
-		counts := cntArena[ji*s : (ji+1)*s : (ji+1)*s]
-		bi := 0
-		for k := int(kMin); k < s; k++ {
-			radius := factor * fn.thresholds[k]
-			for bi < len(ball) && ball[bi] <= radius {
-				bi++
-			}
-			c := bi + 1 - selfDiscount // +1 for the center record itself
-			if c < 1 {
-				c = 1
-			}
-			if c > maxBallCount {
-				c = maxBallCount
-			}
-			counts[k] = uint8(c)
-			fn.totalP[k] += 1 / float64(c)
-			fn.totalCnt[k]++
-		}
-		fn.cnt[r] = counts
-	}
-	sort.Slice(fn.joinable, func(a, b int) bool {
-		return fn.kMin[fn.joinable[a]] < fn.kMin[fn.joinable[b]]
 	})
-	return fn
+
+	// Phase 4 (sharded over functions): profit accumulators. The float
+	// additions run sequentially in ascending right-record order per
+	// function — the same order at every parallelism level.
+	parallel.Shard(numFn, workers, func(_, start, end int) {
+		for fi := start; fi < end; fi++ {
+			fn := fns[fi]
+			if fn == nil {
+				continue
+			}
+			for _, r32 := range fn.joinable {
+				r := int(r32)
+				counts := fn.cnt[r]
+				for k := int(fn.kMin[r]); k < s; k++ {
+					fn.totalP[k] += 1 / float64(counts[k])
+					fn.totalCnt[k]++
+				}
+			}
+			sort.Slice(fn.joinable, func(a, b int) bool {
+				return fn.kMin[fn.joinable[a]] < fn.kMin[fn.joinable[b]]
+			})
+		}
+	})
+	return fns
+}
+
+// countBall fills one joinable row's 2θ-ball counts from its center's
+// sorted ball distances (phase 3 of prepare).
+func countBall(in *engineInput, fn *preparedFn, arena []uint8, ji int, ball []float64, factor float64) {
+	s := in.steps
+	r := int(fn.joinable[ji])
+	kMin := fn.kMin[r]
+	// In self-join mode the query record r is itself in the reference
+	// table; since θ_k >= d it always falls inside the ball and must
+	// be discounted when it is among l's blocked candidates.
+	selfDiscount := 0
+	if in.selfJoin {
+		for _, id := range in.llCand[fn.bestL[r]] {
+			if int(id) == r {
+				selfDiscount = 1
+				break
+			}
+		}
+	}
+	counts := arena[ji*s : (ji+1)*s : (ji+1)*s]
+	bi := 0
+	for k := int(kMin); k < s; k++ {
+		radius := factor * fn.thresholds[k]
+		for bi < len(ball) && ball[bi] <= radius {
+			bi++
+		}
+		c := bi + 1 - selfDiscount // +1 for the center record itself
+		if c < 1 {
+			c = 1
+		}
+		if c > maxBallCount {
+			c = maxBallCount
+		}
+		counts[k] = uint8(c)
+	}
+	fn.cnt[r] = counts
 }
 
 // engineOut is the raw outcome of the greedy search.

@@ -39,8 +39,8 @@ func figure4Input(t *testing.T) (*engineInput, []string, []string) {
 	f := config.JoinFunction{Pre: textproc.Lower, Tok: tokenize.Space, Weight: weights.Equal, Dist: config.JD}
 	space := []config.JoinFunction{f}
 	corpus := config.NewCorpus(space, left, right)
-	profL := corpus.Profiles(left)
-	profR := corpus.Profiles(right)
+	profL := corpus.Profiles(left, 1)
+	profR := corpus.Profiles(right, 1)
 	lrCand := make([][]int32, len(right))
 	for r := range right {
 		ids := make([]int32, len(left))
@@ -59,6 +59,7 @@ func figure4Input(t *testing.T) (*engineInput, []string, []string) {
 		}
 		llCand[l] = ids
 	}
+	ev := config.NewEvaluator(space)
 	in := &engineInput{
 		space:  space,
 		steps:  40,
@@ -66,14 +67,28 @@ func figure4Input(t *testing.T) (*engineInput, []string, []string) {
 		nR:     len(right),
 		lrCand: lrCand,
 		llCand: llCand,
-		lrDist: func(fi, r, ci int) float64 {
-			return space[fi].Distance(profL[lrCand[r][ci]], profR[r])
-		},
-		llDist: func(fi, l, ci int) float64 {
-			return space[fi].Distance(profL[l], profL[llCand[l][ci]])
+		newEval: func() pairEval {
+			sc := ev.NewScratch()
+			return pairEval{
+				lr: func(r, ci int, out []float64) {
+					ev.Distances(profL[lrCand[r][ci]], profR[r], sc, out)
+				},
+				ll: func(l, ci int, out []float64) {
+					ev.Distances(profL[l], profL[llCand[l][ci]], sc, out)
+				},
+			}
 		},
 	}
 	return in, left, right
+}
+
+// llDist1 evaluates the single function of a one-function engineInput
+// between left record l and its ci-th L-L candidate (test convenience).
+func llDist1(in *engineInput, l, ci int) float64 {
+	ev := in.newEval()
+	out := make([]float64, len(in.space))
+	ev.ll(l, ci, out)
+	return out[0]
 }
 
 func TestPrepareFnBallEstimates(t *testing.T) {
@@ -98,7 +113,7 @@ func TestPrepareFnBallEstimates(t *testing.T) {
 	radius := 2 * fn.thresholds[k]
 	wantBall := 1
 	for ci := range in.llCand[fn.bestL[0]] {
-		if in.llDist(0, int(fn.bestL[0]), ci) <= radius {
+		if llDist1(in, int(fn.bestL[0]), ci) <= radius {
 			wantBall++
 		}
 	}

@@ -69,6 +69,12 @@ type Matcher struct {
 	cols  []matcherCol
 	nL    int
 
+	// eval is the fused pair-major scorer over the program's functions:
+	// one call per (candidate, query) pair fills every configuration's
+	// distance, sharing the kernel work exactly like the learning-time
+	// engine (serving and learning go through the same kernels).
+	eval *config.Evaluator
+
 	// balls caches the 2θ-ball cardinality per (configuration, reference
 	// record), indexed cfg*nL+left; 0 means "not yet computed" (a real
 	// count is always >= 1). Values are deterministic, so concurrent
@@ -99,6 +105,11 @@ type matchScratch struct {
 	qprof     []*config.Profile
 	qcells    []string
 	qwords    []string
+	esc       *config.EvalScratch
+	drow      []float64 // per-configuration distances of one candidate
+	crow      []float64 // per-column raw distances (multi-column only)
+	bestD     []float64 // per-configuration closest distance
+	bestL     []int32   // per-configuration closest candidate
 }
 
 var errNeedRow = errors.New("core: matcher was compiled from a multi-column program; use MatchRow or MatchRows")
@@ -186,16 +197,15 @@ func (p *Program) compile(progCols [][]string, leftKey []string, columns []int, 
 	for i, c := range configs {
 		space[i] = c.Function
 	}
+	m.eval = config.NewEvaluator(space)
 	m.cols = make([]matcherCol, len(progCols))
 	for j, colRecs := range progCols {
 		corpus := config.NewCorpus(space, colRecs)
-		prof := make([]*config.Profile, len(colRecs))
-		parallel.Shard(len(colRecs), parallel.Workers(opt.Parallelism, len(colRecs)), func(_, start, end int) {
-			for i := start; i < end; i++ {
-				prof[i] = corpus.Profile(colRecs[i])
-			}
-		})
-		m.cols[j] = matcherCol{corpus: corpus, profL: prof, cells: colRecs}
+		m.cols[j] = matcherCol{
+			corpus: corpus,
+			profL:  corpus.Profiles(colRecs, opt.Parallelism),
+			cells:  colRecs,
+		}
 	}
 	if len(p.NegativeRules) > 0 {
 		set := negrule.NewSet()
@@ -210,6 +220,11 @@ func (p *Program) compile(progCols [][]string, leftKey []string, columns []int, 
 			sc:     m.ix.NewScratch(),
 			qprof:  make([]*config.Profile, len(m.cols)),
 			qcells: make([]string, len(m.cols)),
+			esc:    m.eval.NewScratch(),
+			drow:   make([]float64, len(m.configs)),
+			crow:   make([]float64, len(m.configs)),
+			bestD:  make([]float64, len(m.configs)),
+			bestL:  make([]int32, len(m.configs)),
 		}
 	}
 	return m, nil
@@ -237,29 +252,39 @@ func (m *Matcher) putScratch(ms *matchScratch) {
 	m.pool.Put(ms)
 }
 
-// queryDist evaluates configuration ci between reference record l and the
-// current query profiles. Multi-column distances reproduce the learned
-// tensor semantics: per-column float32 rounding and maximal distance for
-// two missing cells.
-func (m *Matcher) queryDist(ci int, ms *matchScratch, l int32) float64 {
-	f := m.configs[ci].Function
+// pairDists fills ms.drow with the distance of EVERY configuration
+// between reference record l and the current query profiles — one fused
+// kernel pass per (pair, representation) instead of one per
+// configuration. Multi-column distances reproduce the learned tensor
+// semantics: per-column float32 rounding and maximal distance for two
+// missing cells.
+func (m *Matcher) pairDists(ms *matchScratch, l int32) {
 	if !m.multi {
-		return f.Distance(m.cols[0].profL[l], ms.qprof[0])
+		m.eval.Distances(m.cols[0].profL[l], ms.qprof[0], ms.esc, ms.drow)
+		return
 	}
-	var d float64
+	for ci := range ms.drow {
+		ms.drow[ci] = 0
+	}
 	for j := range m.cols {
 		c := &m.cols[j]
 		if c.cells[l] == "" && ms.qcells[j] == "" {
-			d += m.weights[j]
+			for ci := range ms.drow {
+				ms.drow[ci] += m.weights[j]
+			}
 			continue
 		}
-		d += m.weights[j] * float64(float32(f.Distance(c.profL[l], ms.qprof[j])))
+		m.eval.Distances(c.profL[l], ms.qprof[j], ms.esc, ms.crow)
+		for ci := range ms.drow {
+			ms.drow[ci] += m.weights[j] * float64(float32(ms.crow[ci]))
+		}
 	}
-	return d
 }
 
 // leftDist evaluates configuration ci between two reference records (the
-// ball-construction distance).
+// ball-construction distance). This stays on the one-function
+// compatibility path: ball counts are computed once per (configuration,
+// record) and cached, so there is no shared work to fuse.
 func (m *Matcher) leftDist(ci int, a, b int32) float64 {
 	f := m.configs[ci].Function
 	if !m.multi {
@@ -337,14 +362,25 @@ func (m *Matcher) matchOne(ms *matchScratch, key string, row []string) (Match, b
 	for j := range m.cols {
 		ms.qprof[j] = m.cols[j].corpus.Profile(ms.qcells[j])
 	}
-	best := noMatch()
+	// Pair-major candidate scan: one fused evaluation per candidate fills
+	// every configuration's distance, and a strict < keeps the first
+	// minimum in blocking order — exactly the configuration-major result.
 	for ci := range m.configs {
-		bl, bd := int32(-1), math.Inf(1)
-		for _, l := range ids {
-			if d := m.queryDist(ci, ms, l); d < bd {
-				bd, bl = d, l
+		ms.bestL[ci] = -1
+		ms.bestD[ci] = math.Inf(1)
+	}
+	for _, l := range ids {
+		m.pairDists(ms, l)
+		for ci := range ms.drow {
+			if ms.drow[ci] < ms.bestD[ci] {
+				ms.bestD[ci] = ms.drow[ci]
+				ms.bestL[ci] = l
 			}
 		}
+	}
+	best := noMatch()
+	for ci := range m.configs {
+		bl, bd := ms.bestL[ci], ms.bestD[ci]
 		if bl < 0 || bd > m.configs[ci].Threshold || bd >= unjoinableDist {
 			continue
 		}

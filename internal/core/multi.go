@@ -105,21 +105,32 @@ func JoinMultiColumnTables(leftCols, rightCols [][]string, opt Options) (*Result
 			nR:         nR,
 			lrCand:     lrCand,
 			llCand:     llCand,
-			lrDist: func(fi, r, ci int) float64 {
-				idx := int(lrOff[r]) + ci
-				var d float64
-				for _, j := range active {
-					d += w[j] * float64(tensors[j].lr[fi][idx])
+			// Weighted tensor lookups need no kernel scratch; the fused
+			// "evaluation" is a per-function linear combination of the
+			// per-column tensors computed once before the weight search.
+			newEval: func() pairEval {
+				return pairEval{
+					lr: func(r, ci int, out []float64) {
+						idx := int(lrOff[r]) + ci
+						for fi := range out {
+							var d float64
+							for _, j := range active {
+								d += w[j] * float64(tensors[j].lr[fi][idx])
+							}
+							out[fi] = d
+						}
+					},
+					ll: func(l, ci int, out []float64) {
+						idx := int(llOff[l]) + ci
+						for fi := range out {
+							var d float64
+							for _, j := range active {
+								d += w[j] * float64(tensors[j].ll[fi][idx])
+							}
+							out[fi] = d
+						}
+					},
 				}
-				return d
-			},
-			llDist: func(fi, l, ci int) float64 {
-				idx := int(llOff[l]) + ci
-				var d float64
-				for _, j := range active {
-					d += w[j] * float64(tensors[j].ll[fi][idx])
-				}
-				return d
 			},
 		}
 		return run(in, opt)
@@ -210,47 +221,64 @@ func JoinMultiColumnTables(leftCols, rightCols [][]string, opt Options) (*Result
 	return best, nil
 }
 
-// buildColumnTensors evaluates every join function on every blocked pair of
-// one column, fanning functions across up to parallelism goroutines
-// (0 means GOMAXPROCS). Two empty cells compare at maximal distance
-// (missing-value convention of §5.2.2).
+// buildColumnTensors evaluates every join function on every blocked pair
+// of one column, pair-major: workers shard over records and one fused
+// Evaluator pass per candidate pair fills the whole function axis of the
+// tensor (0 means GOMAXPROCS). Two empty cells compare at maximal
+// distance (missing-value convention of §5.2.2).
 func buildColumnTensors(space []config.JoinFunction, lcol, rcol []string, lrCand, llCand [][]int32, lrOff, llOff []int32, parallelism int) *columnTensors {
 	corpus := config.NewCorpus(space, lcol, rcol)
-	profL := corpus.Profiles(lcol)
-	profR := corpus.Profiles(rcol)
+	profL := corpus.Profiles(lcol, parallelism)
+	profR := corpus.Profiles(rcol, parallelism)
+	ev := config.NewEvaluator(space)
+	numFn := len(space)
 	nLR := int(lrOff[len(lrOff)-1])
 	nLL := int(llOff[len(llOff)-1])
 	t := &columnTensors{
-		lr: make([][]float32, len(space)),
-		ll: make([][]float32, len(space)),
+		lr: make([][]float32, numFn),
+		ll: make([][]float32, numFn),
 	}
-	parallel.Shard(len(space), parallel.Workers(parallelism, len(space)), func(_, start, end int) {
-		for fi := start; fi < end; fi++ {
-			f := space[fi]
-			lr := make([]float32, nLR)
-			for r := range lrCand {
-				base := int(lrOff[r])
-				for ci, l := range lrCand[r] {
-					if lcol[l] == "" && rcol[r] == "" {
-						lr[base+ci] = 1
-						continue
+	for fi := 0; fi < numFn; fi++ {
+		t.lr[fi] = make([]float32, nLR)
+		t.ll[fi] = make([]float32, nLL)
+	}
+	workers := parallel.Resolve(parallelism)
+	parallel.Shard(len(lrCand), workers, func(_, start, end int) {
+		sc := ev.NewScratch()
+		row := make([]float64, numFn)
+		for r := start; r < end; r++ {
+			base := int(lrOff[r])
+			for ci, l := range lrCand[r] {
+				if lcol[l] == "" && rcol[r] == "" {
+					for fi := 0; fi < numFn; fi++ {
+						t.lr[fi][base+ci] = 1
 					}
-					lr[base+ci] = float32(f.Distance(profL[l], profR[r]))
+					continue
+				}
+				ev.Distances(profL[l], profR[r], sc, row)
+				for fi := 0; fi < numFn; fi++ {
+					t.lr[fi][base+ci] = float32(row[fi])
 				}
 			}
-			ll := make([]float32, nLL)
-			for l := range llCand {
-				base := int(llOff[l])
-				for ci, l2 := range llCand[l] {
-					if lcol[l] == "" && lcol[l2] == "" {
-						ll[base+ci] = 1
-						continue
+		}
+	})
+	parallel.Shard(len(llCand), workers, func(_, start, end int) {
+		sc := ev.NewScratch()
+		row := make([]float64, numFn)
+		for l := start; l < end; l++ {
+			base := int(llOff[l])
+			for ci, l2 := range llCand[l] {
+				if lcol[l] == "" && lcol[l2] == "" {
+					for fi := 0; fi < numFn; fi++ {
+						t.ll[fi][base+ci] = 1
 					}
-					ll[base+ci] = float32(f.Distance(profL[l], profL[l2]))
+					continue
+				}
+				ev.Distances(profL[l], profL[l2], sc, row)
+				for fi := 0; fi < numFn; fi++ {
+					t.ll[fi][base+ci] = float32(row[fi])
 				}
 			}
-			t.lr[fi] = lr
-			t.ll[fi] = ll
 		}
 	})
 	return t

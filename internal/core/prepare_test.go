@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/blocking"
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/config"
+)
+
+// prepareTables builds synthetic reference/query tables with typos,
+// token drops, and prefixes so that every kernel family sees non-trivial
+// pairs.
+func prepareTables(nL, nR int, seed int64) (left, right []string) {
+	rng := rand.New(rand.NewSource(seed))
+	adjectives := []string{"north", "south", "east", "west", "central", "upper", "lower", "old", "new", "grand"}
+	nouns := []string{"museum", "institute", "library", "archive", "gallery", "college", "theatre", "garden", "bridge", "station"}
+	for i := 0; i < nL; i++ {
+		left = append(left, fmt.Sprintf("%s %s of %s %d",
+			adjectives[rng.Intn(len(adjectives))], nouns[rng.Intn(len(nouns))],
+			adjectives[rng.Intn(len(adjectives))], 1900+rng.Intn(120)))
+	}
+	for i := 0; i < nR; i++ {
+		base := left[rng.Intn(len(left))]
+		switch rng.Intn(4) {
+		case 0: // typo: swap two characters
+			b := []byte(base)
+			p := rng.Intn(len(b) - 1)
+			b[p], b[p+1] = b[p+1], b[p]
+			right = append(right, string(b))
+		case 1: // drop the last token
+			right = append(right, base[:len(base)-5])
+		case 2: // add a prefix
+			right = append(right, "the "+base)
+		default:
+			right = append(right, base)
+		}
+	}
+	return left, right
+}
+
+// buildPrepareInput assembles the engine input for a table pair via the
+// real blocking pipeline, plus the one-function-at-a-time callbacks the
+// function-major baseline scores through.
+func buildPrepareInput(left, right []string, space []config.JoinFunction, steps int, selfJoin bool) (*engineInput, func(fi, r, ci int) float64, func(fi, l, ci int) float64) {
+	var lrCand, llCand [][]int32
+	if selfJoin {
+		blk := blocking.BlockSelf(left, 1.0, 0)
+		llCand = make([][]int32, len(left))
+		for i, cs := range blk.LL {
+			ids := make([]int32, len(cs))
+			for ci, c := range cs {
+				ids[ci] = c.ID
+			}
+			llCand[i] = ids
+		}
+		lrCand = llCand
+		right = left
+	} else {
+		blk := blocking.Block(left, right, 1.0, 0)
+		llCand = make([][]int32, len(left))
+		for i, cs := range blk.LL {
+			ids := make([]int32, len(cs))
+			for ci, c := range cs {
+				ids[ci] = c.ID
+			}
+			llCand[i] = ids
+		}
+		lrCand = make([][]int32, len(right))
+		for j, cs := range blk.LR {
+			ids := make([]int32, len(cs))
+			for ci, c := range cs {
+				ids[ci] = c.ID
+			}
+			lrCand[j] = ids
+		}
+	}
+	corpus := config.NewCorpus(space, left, right)
+	profL := corpus.Profiles(left, 0)
+	profR := corpus.Profiles(right, 0)
+	if selfJoin {
+		profR = profL
+	}
+	ev := config.NewEvaluator(space)
+	in := &engineInput{
+		space:    space,
+		steps:    steps,
+		nL:       len(left),
+		nR:       len(right),
+		lrCand:   lrCand,
+		llCand:   llCand,
+		selfJoin: selfJoin,
+		newEval: func() pairEval {
+			sc := ev.NewScratch()
+			return pairEval{
+				lr: func(r, ci int, out []float64) {
+					ev.Distances(profL[lrCand[r][ci]], profR[r], sc, out)
+				},
+				ll: func(l, ci int, out []float64) {
+					ev.Distances(profL[l], profL[llCand[l][ci]], sc, out)
+				},
+			}
+		},
+	}
+	lrDist := func(fi, r, ci int) float64 {
+		return space[fi].Distance(profL[lrCand[r][ci]], profR[r])
+	}
+	llDist := func(fi, l, ci int) float64 {
+		return space[fi].Distance(profL[l], profL[llCand[l][ci]])
+	}
+	return in, lrDist, llDist
+}
+
+// TestPreparePairMajorMatchesFunctionMajor: the pair-major fused prepare
+// must be bit-identical to the function-major reference — bestL/bestD,
+// threshold grids, ball counts, profit totals, and joinable ordering —
+// for every function of the full space, at every parallelism level, in
+// both join and self-join modes.
+func TestPreparePairMajorMatchesFunctionMajor(t *testing.T) {
+	left, right := prepareTables(80, 60, 3)
+	for _, mode := range []struct {
+		name     string
+		selfJoin bool
+		space    []config.JoinFunction
+	}{
+		{"join/full140", false, config.Space()},
+		{"join/extended148", false, config.ExtendedSpace()},
+		{"selfjoin/reduced24", true, config.ReducedSpace()},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			in, lrDist, llDist := buildPrepareInput(left, right, mode.space, 20, mode.selfJoin)
+			want := functionMajorPrepare(in, lrDist, llDist, 1)
+			for _, p := range []int{1, 4, 8} {
+				got := prepare(in, p)
+				if len(got) != len(want) {
+					t.Fatalf("p=%d: %d fns, want %d", p, len(got), len(want))
+				}
+				for fi := range want {
+					if !reflect.DeepEqual(got[fi], want[fi]) {
+						t.Fatalf("p=%d: fn %d (%s) differs:\npair-major %+v\nfn-major   %+v",
+							p, fi, mode.space[fi].Name(), got[fi], want[fi])
+					}
+				}
+			}
+		})
+	}
+}
+
+// benchPrepareInput is shared by the BenchmarkPrepare* pair so fused and
+// function-major runs see the identical workload.
+func benchPrepareInput(b *testing.B) (*engineInput, func(fi, r, ci int) float64, func(fi, l, ci int) float64) {
+	b.Helper()
+	left, right := prepareTables(400, 300, 11)
+	return buildPrepareInput(left, right, config.Space(), DefaultThresholdSteps, false)
+}
+
+// BenchmarkPrepareFused measures the pair-major fused-kernel prepare on
+// the full 140-function space.
+func BenchmarkPrepareFused(b *testing.B) {
+	in, _, _ := benchPrepareInput(b)
+	for _, p := range []int{1, 4} {
+		b.Run(fmt.Sprintf("full140/p%d", p), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				prepare(in, p)
+			}
+		})
+	}
+}
+
+// BenchmarkPrepareFunctionMajor measures the pre-refactor function-major
+// baseline on the identical workload; the fused/function-major ratio at
+// equal parallelism is the learn-phase speedup tracked in
+// BENCH_learn.json.
+func BenchmarkPrepareFunctionMajor(b *testing.B) {
+	in, lrDist, llDist := benchPrepareInput(b)
+	for _, p := range []int{1, 4} {
+		b.Run(fmt.Sprintf("full140/p%d", p), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				functionMajorPrepare(in, lrDist, llDist, p)
+			}
+		})
+	}
+}

@@ -42,7 +42,8 @@ func SelfJoin(records []string, opt Options) (*Result, error) {
 	blockingTime := time.Since(tBlock)
 
 	corpus := config.NewCorpus(opt.Space, records)
-	prof := corpus.Profiles(records)
+	prof := corpus.Profiles(records, opt.Parallelism)
+	ev := config.NewEvaluator(opt.Space)
 	in := &engineInput{
 		space:      opt.Space,
 		steps:      opt.ThresholdSteps,
@@ -51,11 +52,16 @@ func SelfJoin(records []string, opt Options) (*Result, error) {
 		nR:         len(records),
 		lrCand:     lrCand,
 		llCand:     cand,
-		lrDist: func(fi, r, ci int) float64 {
-			return opt.Space[fi].Distance(prof[lrCand[r][ci]], prof[r])
-		},
-		llDist: func(fi, l, ci int) float64 {
-			return opt.Space[fi].Distance(prof[l], prof[cand[l][ci]])
+		newEval: func() pairEval {
+			sc := ev.NewScratch()
+			return pairEval{
+				lr: func(r, ci int, out []float64) {
+					ev.Distances(prof[lrCand[r][ci]], prof[r], sc, out)
+				},
+				ll: func(l, ci int, out []float64) {
+					ev.Distances(prof[l], prof[cand[l][ci]], sc, out)
+				},
+			}
 		},
 		selfJoin: true,
 	}

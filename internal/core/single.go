@@ -60,8 +60,9 @@ func JoinTables(left, right []string, opt Options) (*Result, error) {
 	// Lines 3-4: distances and precision pre-computation, then the greedy
 	// union search — all inside run().
 	corpus := config.NewCorpus(opt.Space, left, right)
-	profL := corpus.Profiles(left)
-	profR := corpus.Profiles(right)
+	profL := corpus.Profiles(left, opt.Parallelism)
+	profR := corpus.Profiles(right, opt.Parallelism)
+	ev := config.NewEvaluator(opt.Space)
 
 	in := &engineInput{
 		space:      opt.Space,
@@ -71,11 +72,16 @@ func JoinTables(left, right []string, opt Options) (*Result, error) {
 		nR:         len(right),
 		lrCand:     lrCand,
 		llCand:     llCand,
-		lrDist: func(fi, r, ci int) float64 {
-			return opt.Space[fi].Distance(profL[lrCand[r][ci]], profR[r])
-		},
-		llDist: func(fi, l, ci int) float64 {
-			return opt.Space[fi].Distance(profL[l], profL[llCand[l][ci]])
+		newEval: func() pairEval {
+			sc := ev.NewScratch()
+			return pairEval{
+				lr: func(r, ci int, out []float64) {
+					ev.Distances(profL[lrCand[r][ci]], profR[r], sc, out)
+				},
+				ll: func(l, ci int, out []float64) {
+					ev.Distances(profL[l], profL[llCand[l][ci]], sc, out)
+				},
+			}
 		},
 	}
 	res := run(in, opt)

@@ -1,0 +1,283 @@
+package distance
+
+import "strings"
+
+// This file holds the fused character-family kernel. The char-based
+// distances (ED, JW and the extension distances ME, SW) all start from
+// the same pre-processed strings, so evaluating them together shares the
+// rune conversion, and a per-worker CharScratch keeps the DP rows and
+// match tables of the quadratic algorithms out of the allocator. Results
+// are bit-identical to the single-function entry points in strings.go
+// and hybrid.go — same arithmetic in the same order, only the buffers
+// are reused (enforced by TestCharKernelMatchesSingles / FuzzCharKernel).
+
+// CharNeed selects which members of the character family to compute.
+type CharNeed struct{ ED, JW, ME, SW bool }
+
+// CharDists holds the computed members; unrequested members are 0.
+type CharDists struct{ ED, JW, ME, SW float64 }
+
+// CharScratch is the reusable per-worker state of the character kernel.
+// It is not safe for concurrent use; give each worker its own.
+type CharScratch struct {
+	ra, rb         []rune // rune views of the two inputs
+	dpA, dpB       []int  // DP rows for Levenshtein and Smith-Waterman
+	matchA, matchB []bool // Jaro match tables
+	ta, tb         []rune // token rune views for Monge-Elkan's inner Jaro
+}
+
+// appendRunes is the allocation-free []rune(s) of the kernel.
+func appendRunes(buf []rune, s string) []rune {
+	for _, r := range s {
+		buf = append(buf, r)
+	}
+	return buf
+}
+
+// intRow returns buf grown to n entries, all zero.
+func intRow(buf []int, n int) []int {
+	if cap(buf) < n {
+		buf = make([]int, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+// boolRow returns buf grown to n entries, all false.
+func boolRow(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		buf = make([]bool, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = false
+	}
+	return buf
+}
+
+// Distances evaluates the requested character-family distances of one
+// pair, converting each string to runes exactly once.
+func (cs *CharScratch) Distances(a, b string, need CharNeed) CharDists {
+	cs.ra = appendRunes(cs.ra[:0], a)
+	cs.rb = appendRunes(cs.rb[:0], b)
+	var d CharDists
+	if need.ED {
+		d.ED = cs.editDistance(cs.ra, cs.rb)
+	}
+	if need.JW {
+		d.JW = 1 - cs.jaroWinkler(cs.ra, cs.rb)
+	}
+	if need.ME {
+		d.ME = cs.mongeElkan(a, b)
+	}
+	if need.SW {
+		d.SW = cs.smithWaterman(cs.ra, cs.rb)
+	}
+	return d
+}
+
+// editDistance is EditDistance over pre-converted runes.
+func (cs *CharScratch) editDistance(ra, rb []rune) float64 {
+	la, lb := len(ra), len(rb)
+	if la == 0 && lb == 0 {
+		return 0
+	}
+	maxLen := la
+	if lb > maxLen {
+		maxLen = lb
+	}
+	return float64(cs.levenshtein(ra, rb)) / float64(maxLen)
+}
+
+// levenshtein is Levenshtein over pre-converted runes with scratch rows.
+func (cs *CharScratch) levenshtein(ra, rb []rune) int {
+	if len(ra) < len(rb) {
+		ra, rb = rb, ra
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := intRow(cs.dpA, len(rb)+1)
+	cur := intRow(cs.dpB, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		ca := ra[i-1]
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ca == rb[j-1] {
+				cost = 0
+			}
+			m := prev[j-1] + cost        // substitute
+			if d := prev[j] + 1; d < m { // delete
+				m = d
+			}
+			if d := cur[j-1] + 1; d < m { // insert
+				m = d
+			}
+			cur[j] = m
+		}
+		prev, cur = cur, prev
+	}
+	cs.dpA, cs.dpB = prev, cur
+	return prev[len(rb)]
+}
+
+// jaro is Jaro over pre-converted runes with scratch match tables.
+func (cs *CharScratch) jaro(ra, rb []rune) float64 {
+	la, lb := len(ra), len(rb)
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	window := la
+	if lb > window {
+		window = lb
+	}
+	window = window/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	matchA := boolRow(cs.matchA, la)
+	matchB := boolRow(cs.matchB, lb)
+	cs.matchA, cs.matchB = matchA, matchB
+	matches := 0
+	for i := 0; i < la; i++ {
+		lo := i - window
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + window + 1
+		if hi > lb {
+			hi = lb
+		}
+		for j := lo; j < hi; j++ {
+			if matchB[j] || ra[i] != rb[j] {
+				continue
+			}
+			matchA[i] = true
+			matchB[j] = true
+			matches++
+			break
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	transpositions := 0
+	j := 0
+	for i := 0; i < la; i++ {
+		if !matchA[i] {
+			continue
+		}
+		for !matchB[j] {
+			j++
+		}
+		if ra[i] != rb[j] {
+			transpositions++
+		}
+		j++
+	}
+	m := float64(matches)
+	t := float64(transpositions) / 2
+	return (m/float64(la) + m/float64(lb) + (m-t)/m) / 3
+}
+
+// jaroWinkler is JaroWinkler over pre-converted runes.
+func (cs *CharScratch) jaroWinkler(ra, rb []rune) float64 {
+	j := cs.jaro(ra, rb)
+	prefix := 0
+	for prefix < len(ra) && prefix < len(rb) && prefix < 4 && ra[prefix] == rb[prefix] {
+		prefix++
+	}
+	return j + float64(prefix)*jaroWinklerPrefixScale*(1-j)
+}
+
+// mongeElkan is MongeElkan with the inner Jaro-Winkler running on
+// scratch buffers. Token splitting still allocates (strings.Fields), but
+// the quadratic inner comparisons are allocation-free.
+func (cs *CharScratch) mongeElkan(a, b string) float64 {
+	ta := strings.Fields(a)
+	tb := strings.Fields(b)
+	if len(ta) == 0 && len(tb) == 0 {
+		return 0
+	}
+	if len(ta) == 0 || len(tb) == 0 {
+		return 1
+	}
+	return 1 - (cs.mongeElkanDir(ta, tb)+cs.mongeElkanDir(tb, ta))/2
+}
+
+func (cs *CharScratch) mongeElkanDir(from, to []string) float64 {
+	var sum float64
+	for _, a := range from {
+		cs.ta = appendRunes(cs.ta[:0], a)
+		best := 0.0
+		for _, b := range to {
+			cs.tb = appendRunes(cs.tb[:0], b)
+			if s := cs.jaroWinkler(cs.ta, cs.tb); s > best {
+				best = s
+			}
+		}
+		sum += best
+	}
+	return sum / float64(len(from))
+}
+
+// smithWaterman is SmithWaterman over pre-converted runes with scratch
+// DP rows.
+func (cs *CharScratch) smithWaterman(ra, rb []rune) float64 {
+	if len(ra) == 0 && len(rb) == 0 {
+		return 0
+	}
+	if len(ra) == 0 || len(rb) == 0 {
+		return 1
+	}
+	prev := intRow(cs.dpA, len(rb)+1)
+	cur := intRow(cs.dpB, len(rb)+1)
+	best := 0
+	for i := 1; i <= len(ra); i++ {
+		for j := 1; j <= len(rb); j++ {
+			score := swMismatch
+			if ra[i-1] == rb[j-1] {
+				score = swMatch
+			}
+			v := prev[j-1] + score
+			if d := prev[j] + swGap; d > v {
+				v = d
+			}
+			if d := cur[j-1] + swGap; d > v {
+				v = d
+			}
+			if v < 0 {
+				v = 0
+			}
+			cur[j] = v
+			if v > best {
+				best = v
+			}
+		}
+		prev, cur = cur, prev
+		for j := range cur {
+			cur[j] = 0
+		}
+	}
+	cs.dpA, cs.dpB = prev, cur
+	minLen := len(ra)
+	if len(rb) < minLen {
+		minLen = len(rb)
+	}
+	maxScore := swMatch * minLen
+	if maxScore == 0 {
+		return 1
+	}
+	d := 1 - float64(best)/float64(maxScore)
+	return clamp01(d)
+}

@@ -1,0 +1,155 @@
+package distance
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randSparse builds a random weighted token set from a small shared
+// vocabulary so that overlaps, containments, and empty sets all occur.
+func randSparse(rng *rand.Rand) Sparse {
+	vocab := []string{"alpha", "bravo", "carol", "delta", "echo", "fox", "golf", "##a", "a##", "bra"}
+	n := rng.Intn(len(vocab) + 1)
+	vec := make(map[string]float64, n)
+	for i := 0; i < n; i++ {
+		w := rng.Float64() * 3
+		if rng.Intn(8) == 0 {
+			w = 0 // dropped by NewSparse
+		}
+		vec[vocab[rng.Intn(len(vocab))]] = w
+	}
+	return NewSparse(vec)
+}
+
+// TestSetFamilyMatchesSingles: the fused set kernel must be bit-identical
+// to the single-function entry points on random pairs, including empty
+// and fully-contained sets.
+func TestSetFamilyMatchesSingles(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 2000; trial++ {
+		l, r := randSparse(rng), randSparse(rng)
+		got := SetFamily(l, r)
+		checks := []struct {
+			name string
+			got  float64
+			want float64
+		}{
+			{"JD", got.JD, Jaccard(l, r)},
+			{"CD", got.CD, Cosine(l, r)},
+			{"DD", got.DD, Dice(l, r)},
+			{"MD", got.MD, MaxInclusion(l, r)},
+			{"ID", got.ID, Inclusion(l, r)},
+			{"CJD", got.CJD, ContainJaccard(l, r)},
+			{"CCD", got.CCD, ContainCosine(l, r)},
+			{"CDD", got.CDD, ContainDice(l, r)},
+		}
+		for _, c := range checks {
+			if c.got != c.want {
+				t.Fatalf("trial %d %s: fused %v != single %v (l=%v r=%v)",
+					trial, c.name, c.got, c.want, l.Tokens, r.Tokens)
+			}
+		}
+	}
+}
+
+// TestSetFamilyContainment pins the directional gate: r ⊆ l passes the
+// Contain-* gate, l ⊆ r (strictly) does not.
+func TestSetFamilyContainment(t *testing.T) {
+	l := NewSparse(map[string]float64{"a": 1, "b": 1, "c": 1})
+	r := NewSparse(map[string]float64{"a": 1, "b": 1})
+	if d := SetFamily(l, r); d.CJD == 1 || d.CJD != Jaccard(l, r) {
+		t.Errorf("contained pair gated out: CJD=%v", d.CJD)
+	}
+	if d := SetFamily(r, l); d.CJD != 1 || d.CCD != 1 || d.CDD != 1 {
+		t.Errorf("non-contained pair not gated: %+v", SetFamily(r, l))
+	}
+}
+
+var charCorpus = []string{
+	"", " ", "a", "ab", "ba", "abc", "north museum of history",
+	"nothern museum of history", "the north museum", "müller straße",
+	"MIXED case Input", "a b c d e f", "xxxxxxxxxxxxxxxxxxxxxxxx",
+	"2003 alpha squad unit", "2003 alpha squad unit x",
+}
+
+// TestCharKernelMatchesSingles: the scratch-backed character kernel must
+// be bit-identical to the single-function entry points over a corpus
+// crossing empty strings, unicode, and token reorderings — and stay
+// identical when the scratch is reused across pairs in sequence.
+func TestCharKernelMatchesSingles(t *testing.T) {
+	var cs CharScratch
+	need := CharNeed{ED: true, JW: true, ME: true, SW: true}
+	for _, a := range charCorpus {
+		for _, b := range charCorpus {
+			got := cs.Distances(a, b, need)
+			if want := EditDistance(a, b); got.ED != want {
+				t.Fatalf("ED(%q,%q): fused %v != single %v", a, b, got.ED, want)
+			}
+			if want := JaroWinklerDistance(a, b); got.JW != want {
+				t.Fatalf("JW(%q,%q): fused %v != single %v", a, b, got.JW, want)
+			}
+			if want := MongeElkan(a, b); got.ME != want {
+				t.Fatalf("ME(%q,%q): fused %v != single %v", a, b, got.ME, want)
+			}
+			if want := SmithWaterman(a, b); got.SW != want {
+				t.Fatalf("SW(%q,%q): fused %v != single %v", a, b, got.SW, want)
+			}
+		}
+	}
+}
+
+// TestCharKernelPartialNeed: unrequested members stay zero and requested
+// ones are unaffected by the selection.
+func TestCharKernelPartialNeed(t *testing.T) {
+	var cs CharScratch
+	got := cs.Distances("abc", "abd", CharNeed{ED: true})
+	if got.ED != EditDistance("abc", "abd") {
+		t.Errorf("ED under partial need = %v", got.ED)
+	}
+	if got.JW != 0 || got.ME != 0 || got.SW != 0 {
+		t.Errorf("unrequested members non-zero: %+v", got)
+	}
+}
+
+// FuzzCharKernel cross-checks the fused kernel against the single
+// functions on arbitrary byte strings.
+func FuzzCharKernel(f *testing.F) {
+	f.Add("north museum", "nothern museum")
+	f.Add("", "x")
+	f.Add("αβγ", "αγβ")
+	f.Fuzz(func(t *testing.T, a, b string) {
+		var cs CharScratch
+		got := cs.Distances(a, b, CharNeed{ED: true, JW: true, ME: true, SW: true})
+		if got.ED != EditDistance(a, b) || got.JW != JaroWinklerDistance(a, b) ||
+			got.ME != MongeElkan(a, b) || got.SW != SmithWaterman(a, b) {
+			t.Fatalf("kernel mismatch on (%q, %q): %+v", a, b, got)
+		}
+	})
+}
+
+// FuzzSetFamily cross-checks the fused set kernel against the single
+// functions on token sets derived from arbitrary strings.
+func FuzzSetFamily(f *testing.F) {
+	f.Add("a b c", "b c d")
+	f.Add("", "a")
+	f.Fuzz(func(t *testing.T, a, b string) {
+		l := sparseOf(a)
+		r := sparseOf(b)
+		got := SetFamily(l, r)
+		if got.JD != Jaccard(l, r) || got.CD != Cosine(l, r) || got.DD != Dice(l, r) ||
+			got.MD != MaxInclusion(l, r) || got.ID != Inclusion(l, r) ||
+			got.CJD != ContainJaccard(l, r) || got.CCD != ContainCosine(l, r) ||
+			got.CDD != ContainDice(l, r) {
+			t.Fatalf("set kernel mismatch on (%q, %q): %+v", a, b, got)
+		}
+	})
+}
+
+// sparseOf builds a deterministic weighted set from a string's bytes.
+func sparseOf(s string) Sparse {
+	vec := map[string]float64{}
+	for i := 0; i+2 <= len(s); i += 2 {
+		vec[s[i:i+2]] += 0.25 + float64(s[i]%7)
+	}
+	return NewSparse(vec)
+}
