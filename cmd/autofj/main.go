@@ -30,8 +30,11 @@
 //
 // Join output CSV has columns right_row,left_row,right_value,left_value,
 // estimated_precision; serve output has query,left_row,left_value,
-// distance,estimated_precision (left_row -1 for no match). The join
-// program is printed to stderr.
+// distance,estimated_precision (left_row -1 for no match). A malformed
+// serve query line (e.g. a bad CSV row, or the wrong number of cells for
+// a multi-column program) also answers with left_row -1 plus a
+// diagnostic on stderr — the serving loop never exits because of one bad
+// query. The join program is printed to stderr.
 package main
 
 import (
@@ -48,6 +51,7 @@ import (
 
 	autofj "github.com/chu-data-lab/autofuzzyjoin-go"
 	"github.com/chu-data-lab/autofuzzyjoin-go/internal/dataset"
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/serve"
 )
 
 func main() {
@@ -76,7 +80,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		outPath   = fs.String("out", "", "output CSV (default stdout)")
 		savePath  = fs.String("save-program", "", "after learning, write the join program JSON here")
 		loadPath  = fs.String("load-program", "", "load a saved program JSON instead of learning")
-		serve     = fs.Bool("serve-stdin", false, "serve queries from stdin, one per line")
+		serveFlag = fs.Bool("serve-stdin", false, "serve queries from stdin, one per line")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -88,13 +92,13 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	if *loadPath != "" && *savePath != "" {
 		return errors.New("-save-program only makes sense when learning (drop -load-program)")
 	}
-	left, err := readCSV(*leftPath)
+	left, err := serve.ReadCSVFile(*leftPath)
 	if err != nil {
 		return err
 	}
 	var right dataset.Table
 	if *rightPath != "" {
-		if right, err = readCSV(*rightPath); err != nil {
+		if right, err = serve.ReadCSVFile(*rightPath); err != nil {
 			return err
 		}
 	}
@@ -137,10 +141,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 			res, err = autofj.JoinMultiColumn(left.AllColumns(), right.AllColumns(), opt)
 		} else {
 			var leftVals, rightVals []string
-			if leftVals, err = keyColumn(left, *column); err != nil {
+			if leftVals, err = serve.KeyColumn(left, *column); err != nil {
 				return err
 			}
-			if rightVals, err = keyColumn(right, *column); err != nil {
+			if rightVals, err = serve.KeyColumn(right, *column); err != nil {
 				return err
 			}
 			res, err = autofj.Join(leftVals, rightVals, opt)
@@ -170,18 +174,13 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		}
 	}
 
-	// Phase 2: serve, apply, or emit the learned joins.
-	out := stdout
-	if *outPath != "" {
-		f, err := os.Create(*outPath)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		out = f
-	}
-	if *serve {
-		return serveStdin(prog, left, *column, opt, stdin, out, stderr)
+	// Phase 2: serve, apply, or emit the learned joins. All output goes
+	// through withOutput so a failing Close on -out (full disk, quota)
+	// surfaces as an error instead of a silently truncated CSV.
+	if *serveFlag {
+		return withOutput(*outPath, stdout, func(out io.Writer) error {
+			return serveStdin(prog, left, *column, opt, stdin, out, stderr)
+		})
 	}
 
 	if res != nil {
@@ -198,7 +197,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 				strconv.FormatFloat(j.Precision, 'f', 4, 64),
 			})
 		}
-		return result.WriteCSV(out)
+		return withOutput(*outPath, stdout, result.WriteCSV)
 	}
 
 	// Loaded program: compile once against the reference table, match the
@@ -207,17 +206,17 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		fs.Usage()
 		return errors.New("-right is required to apply a loaded program (or add -serve-stdin)")
 	}
-	matcher, leftVals, err := compileFor(prog, left, *column, opt)
+	matcher, leftVals, err := serve.CompileProgram(prog, left, *column, opt)
 	if err != nil {
 		return err
 	}
 	var matches []autofj.Match
 	var rightVals []string
 	if len(prog.Columns) > 0 {
-		rightVals = concat(right)
+		rightVals = serve.ConcatRows(right)
 		matches, err = matcher.MatchRows(context.Background(), right.Rows)
 	} else {
-		if rightVals, err = keyColumn(right, *column); err != nil {
+		if rightVals, err = serve.KeyColumn(right, *column); err != nil {
 			return err
 		}
 		matches, err = matcher.MatchBatch(context.Background(), rightVals)
@@ -236,7 +235,26 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 			strconv.FormatFloat(m.Precision, 'f', 4, 64),
 		})
 	}
-	return result.WriteCSV(out)
+	return withOutput(*outPath, stdout, result.WriteCSV)
+}
+
+// withOutput runs fn against stdout or the -out file. The file's Close
+// error is checked and propagated (unless fn already failed): write(2)
+// can succeed into the page cache and the flush only fail at close, so a
+// bare deferred Close would turn a full disk into exit code 0.
+func withOutput(path string, stdout io.Writer, fn func(io.Writer) error) error {
+	if path == "" {
+		return fn(stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = fn(f)
+	if cerr := f.Close(); cerr != nil && err == nil {
+		err = fmt.Errorf("closing %s: %w", path, cerr)
+	}
+	return err
 }
 
 // spaceFor resolves the -space flag: the full Table 1 space (default),
@@ -271,30 +289,15 @@ func joinTable() dataset.Table {
 	}
 }
 
-// compileFor builds the serving matcher for a program against the
-// reference table, returning the display values of the reference records.
-func compileFor(prog *autofj.Program, left dataset.Table, column string, opt autofj.Options) (*autofj.Matcher, []string, error) {
-	if len(prog.Columns) > 0 {
-		m, err := prog.CompileMultiColumn(left.AllColumns(), opt)
-		return m, concat(left), err
-	}
-	leftVals, err := keyColumn(left, column)
-	if err != nil {
-		return nil, nil, err
-	}
-	m, err := prog.Compile(leftVals, opt)
-	return m, leftVals, err
-}
-
 // outputValues picks the display values for the learn-mode join CSV.
 func outputValues(prog *autofj.Program, left, right dataset.Table, column string, multi bool) (leftVals, rightVals []string, err error) {
 	if multi || len(prog.Columns) > 0 {
-		return concat(left), concat(right), nil
+		return serve.ConcatRows(left), serve.ConcatRows(right), nil
 	}
-	if leftVals, err = keyColumn(left, column); err != nil {
+	if leftVals, err = serve.KeyColumn(left, column); err != nil {
 		return nil, nil, err
 	}
-	if rightVals, err = keyColumn(right, column); err != nil {
+	if rightVals, err = serve.KeyColumn(right, column); err != nil {
 		return nil, nil, err
 	}
 	return leftVals, rightVals, nil
@@ -303,8 +306,13 @@ func outputValues(prog *autofj.Program, left, right dataset.Table, column string
 // serveStdin answers one query per input line against the compiled
 // matcher, flushing each answer as it is produced (to stdout or -out).
 // Multi-column programs take a CSV row per line.
+//
+// A malformed or wrong-arity line answers with an error record (left_row
+// -1, like a no-match) plus a diagnostic on stderr, and serving
+// continues: one bad query must never take down the loop and everything
+// queued behind it. Only write failures on the output end the loop.
 func serveStdin(prog *autofj.Program, left dataset.Table, column string, opt autofj.Options, stdin io.Reader, out, stderr io.Writer) error {
-	matcher, leftVals, err := compileFor(prog, left, column, opt)
+	matcher, leftVals, err := serve.CompileProgram(prog, left, column, opt)
 	if err != nil {
 		return err
 	}
@@ -317,22 +325,24 @@ func serveStdin(prog *autofj.Program, left dataset.Table, column string, opt aut
 	ctx := context.Background()
 	sc := bufio.NewScanner(stdin)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	for sc.Scan() {
+	for lineNo := 1; sc.Scan(); lineNo++ {
 		line := sc.Text()
 		var m autofj.Match
 		var ok bool
+		var qerr error
 		if matcher.MultiColumn() {
-			row, err := csv.NewReader(strings.NewReader(line)).Read()
-			if err != nil {
-				return fmt.Errorf("parsing query row %q: %w", line, err)
+			var row []string
+			if row, qerr = csv.NewReader(strings.NewReader(line)).Read(); qerr == nil {
+				m, ok, qerr = matcher.MatchRow(ctx, row)
 			}
-			if m, ok, err = matcher.MatchRow(ctx, row); err != nil {
-				return err
-			}
-		} else if m, ok, err = matcher.Match(ctx, line); err != nil {
-			return err
+		} else {
+			m, ok, qerr = matcher.Match(ctx, line)
 		}
 		rec := []string{line, "-1", "", "", ""}
+		if qerr != nil {
+			ok = false
+			fmt.Fprintf(stderr, "autofj: query line %d: %v\n", lineNo, qerr)
+		}
 		if ok {
 			rec = []string{
 				line, strconv.Itoa(m.Left), leftVals[m.Left],
@@ -349,46 +359,4 @@ func serveStdin(prog *autofj.Program, left dataset.Table, column string, opt aut
 		}
 	}
 	return sc.Err()
-}
-
-func readCSV(path string) (dataset.Table, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return dataset.Table{}, err
-	}
-	defer f.Close()
-	t, err := dataset.ReadCSV(f)
-	if err != nil {
-		return dataset.Table{}, fmt.Errorf("%s: %w", path, err)
-	}
-	return t, nil
-}
-
-func keyColumn(t dataset.Table, name string) ([]string, error) {
-	if name == "" {
-		return t.Column(0), nil
-	}
-	col, ok := t.ColumnByName(name)
-	if !ok {
-		return nil, fmt.Errorf("column %q not found (have %v)", name, t.Columns)
-	}
-	return col, nil
-}
-
-func concat(t dataset.Table) []string {
-	out := make([]string, t.NumRows())
-	for i, row := range t.Rows {
-		s := ""
-		for _, v := range row {
-			if v == "" {
-				continue
-			}
-			if s != "" {
-				s += " "
-			}
-			s += v
-		}
-		out[i] = s
-	}
-	return out
 }

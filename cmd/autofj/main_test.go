@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"os"
 	"path/filepath"
@@ -11,32 +12,35 @@ import (
 	"github.com/chu-data-lab/autofuzzyjoin-go/internal/dataset"
 )
 
-func TestKeyColumn(t *testing.T) {
-	tab := dataset.Table{
-		Columns: []string{"id", "name"},
-		Rows:    [][]string{{"1", "alpha"}, {"2", "beta"}},
+// withOutput must surface a Close failure on the -out file (the write
+// can land in the page cache and only fail at close — a bare deferred
+// Close turned that into a truncated CSV with exit code 0). The close
+// failure is simulated by closing the file out from under the writer.
+func TestWithOutputPropagatesCloseError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.csv")
+	err := withOutput(path, io.Discard, func(out io.Writer) error {
+		return out.(*os.File).Close()
+	})
+	if err == nil {
+		t.Fatal("double close not reported")
 	}
-	got, err := keyColumn(tab, "")
-	if err != nil || got[0] != "1" {
-		t.Errorf("default key column = %v (%v)", got, err)
+	if !strings.Contains(err.Error(), path) {
+		t.Errorf("close error does not name the file: %v", err)
 	}
-	got, err = keyColumn(tab, "name")
-	if err != nil || got[1] != "beta" {
-		t.Errorf("named key column = %v (%v)", got, err)
-	}
-	if _, err := keyColumn(tab, "nope"); err == nil {
-		t.Error("missing column accepted")
-	}
-}
 
-func TestConcat(t *testing.T) {
-	tab := dataset.Table{
-		Columns: []string{"a", "b", "c"},
-		Rows:    [][]string{{"x", "", "z"}, {"", "", ""}},
+	// A body error wins over the close error.
+	bodyErr := errors.New("body failed")
+	err = withOutput(filepath.Join(t.TempDir(), "out2.csv"), io.Discard, func(out io.Writer) error {
+		out.(*os.File).Close()
+		return bodyErr
+	})
+	if !errors.Is(err, bodyErr) {
+		t.Errorf("body error lost: %v", err)
 	}
-	got := concat(tab)
-	if got[0] != "x z" || got[1] != "" {
-		t.Errorf("concat = %v", got)
+
+	// No -out path: plain pass-through to stdout, nothing to close.
+	if err := withOutput("", io.Discard, func(io.Writer) error { return nil }); err != nil {
+		t.Errorf("stdout path: %v", err)
 	}
 }
 
@@ -244,4 +248,61 @@ func readJoinCSV(t *testing.T, path string) map[string]string {
 		out[row[0]] = row[1]
 	}
 	return out
+}
+
+// TestServeStdinSurvivesBadLines: a malformed CSV row or a wrong-arity
+// row mid-stream answers with left_row -1 and a stderr diagnostic, and
+// the loop keeps serving the queries behind it (it used to return the
+// parse error and kill the whole server).
+func TestServeStdinSurvivesBadLines(t *testing.T) {
+	dir := t.TempDir()
+	leftPath := filepath.Join(dir, "left.csv")
+	if err := os.WriteFile(leftPath, []byte(
+		"name,city\n"+
+			"alpha research institute,springfield\n"+
+			"bravo analytics bureau,rivertown\n"+
+			"carol standards council,lakeside\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A hand-written multi-column program: no learning run needed, and it
+	// requires exactly 2 cells per query row (the reference arity).
+	progPath := filepath.Join(dir, "prog.json")
+	if err := os.WriteFile(progPath, []byte(`{
+		"version": 1,
+		"configurations": [{"preprocess": "L", "distance": "ED", "threshold": 0.4}],
+		"columns": [0, 1], "weights": [0.7, 0.3], "blocking_beta": 1
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	queries := strings.Join([]string{
+		"alpha reserch institute,springfield", // good
+		`"unclosed quote`,                     // malformed CSV
+		"too,many,cells",                      // wrong arity
+		"bravo analytics bureau,rivertown",    // good — must still be served
+	}, "\n") + "\n"
+	var out, errBuf bytes.Buffer
+	if err := run([]string{
+		"-left", leftPath, "-load-program", progPath, "-serve-stdin",
+	}, strings.NewReader(queries), &out, &errBuf); err != nil {
+		t.Fatalf("serve exited on a bad line: %v (stderr: %s)", err, errBuf.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 5 { // header + 4 answers
+		t.Fatalf("want 5 output lines, got %d: %q", len(lines), out.String())
+	}
+	if !strings.Contains(lines[1], "alpha research institute") {
+		t.Errorf("good query 1 unanswered: %q", lines[1])
+	}
+	for _, i := range []int{2, 3} {
+		if !strings.Contains(lines[i], ",-1,") {
+			t.Errorf("bad query %d should answer -1: %q", i, lines[i])
+		}
+	}
+	if !strings.Contains(lines[4], "bravo analytics bureau") {
+		t.Errorf("good query after the bad ones unanswered: %q", lines[4])
+	}
+	diag := errBuf.String()
+	if !strings.Contains(diag, "query line 2") || !strings.Contains(diag, "query line 3") {
+		t.Errorf("missing per-line diagnostics: %s", diag)
+	}
 }

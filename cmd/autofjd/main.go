@@ -1,0 +1,167 @@
+// Command autofjd is the Auto-FuzzyJoin serving daemon: it hosts a
+// registry of named, compiled join programs behind an HTTP/JSON API,
+// micro-batching concurrent queries into MatchBatch shards and caching
+// results in a bounded LRU, with atomic hot swaps and graceful shutdown.
+//
+// Start with a config file:
+//
+//	autofjd -config autofjd.json
+//
+// or with a single program straight from flags (the same artifacts the
+// autofj CLI produces with -save-program):
+//
+//	autofjd -addr :8080 -name orgs -program prog.json -left left.csv -column name
+//
+// Then query it:
+//
+//	curl 'localhost:8080/v1/programs/orgs/query?q=alpha+reserch+institute'
+//	curl -X POST localhost:8080/v1/programs/orgs/query -d '{"query":"alpha reserch institute"}'
+//	curl localhost:8080/metrics
+//
+// Register or hot-swap a program at runtime (traffic keeps flowing; the
+// swap is atomic):
+//
+//	curl -X POST localhost:8080/v1/programs/orgs \
+//	     -d '{"program_path":"prog2.json","left_path":"left.csv","column":"name"}'
+//
+// The config file is JSON (see internal/serve.Config):
+//
+//	{
+//	  "listen": ":8080",
+//	  "programs": [
+//	    {"name": "orgs", "program_path": "prog.json",
+//	     "left_path": "left.csv", "column": "name"}
+//	  ],
+//	  "cache_size": 4096, "batch_window_us": 500, "batch_max": 64
+//	}
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stderr, nil, nil); err != nil {
+		if !errors.Is(err, flag.ErrHelp) {
+			fmt.Fprintln(os.Stderr, "autofjd:", err)
+		}
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and blocks until shutdown. Two test hooks:
+// ready (if non-nil) receives the bound address once the server is
+// accepting, and shutdown (if non-nil) replaces SIGINT/SIGTERM as the
+// shutdown trigger.
+func run(args []string, stderr io.Writer, ready chan<- string, shutdown <-chan struct{}) error {
+	fs := flag.NewFlagSet("autofjd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		configPath = fs.String("config", "", "daemon config JSON (see internal/serve.Config)")
+		addr       = fs.String("addr", "", "listen address (overrides the config's listen)")
+		name       = fs.String("name", "", "register one program under this name (with -program and -left)")
+		progPath   = fs.String("program", "", "program JSON for -name (from autofj -save-program)")
+		leftPath   = fs.String("left", "", "reference table CSV for -name")
+		column     = fs.String("column", "", "join key column for -name (default: first column)")
+		parallel   = fs.Int("parallelism", 0, "worker goroutines per batch (0 = all CPUs)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var cfg serve.Config
+	if *configPath != "" {
+		var err error
+		if cfg, err = serve.LoadConfig(*configPath); err != nil {
+			return err
+		}
+	}
+	if *name != "" {
+		if *progPath == "" || *leftPath == "" {
+			return errors.New("-name needs -program and -left")
+		}
+		cfg.Programs = append(cfg.Programs, serve.ProgramSpec{
+			Name:        *name,
+			ProgramPath: *progPath,
+			LeftPath:    *leftPath,
+			Column:      *column,
+		})
+	}
+	if len(cfg.Programs) == 0 {
+		fs.Usage()
+		return errors.New("no programs: give -config, or -name with -program and -left")
+	}
+	if *addr != "" {
+		cfg.Listen = *addr
+	}
+	if *parallel != 0 {
+		cfg.Parallelism = *parallel
+	}
+
+	reg := serve.NewRegistry(cfg, serve.NewMetrics(time.Now()))
+	srv := serve.NewServer(reg)
+	for _, spec := range cfg.Programs {
+		if err := reg.Register(spec); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "autofjd: program %q ready\n", spec.Name)
+	}
+	srv.SetReady(true)
+
+	ln, err := net.Listen("tcp", cfg.ListenAddr())
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(stderr, "autofjd: serving %d program(s) on %s\n", len(cfg.Programs), ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	if shutdown == nil {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		defer signal.Stop(sig)
+		ch := make(chan struct{})
+		go func() { <-sig; close(ch) }()
+		shutdown = ch
+	}
+	select {
+	case err := <-errc:
+		return err // listener failed before any shutdown request
+	case <-shutdown:
+	}
+
+	// Graceful drain: stop accepting, let in-flight handlers (and the
+	// batches they wait on) finish, then drain the batchers — all bounded
+	// by the configured deadline.
+	fmt.Fprintln(stderr, "autofjd: draining")
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.DrainTimeout())
+	defer cancel()
+	shutdownErr := httpSrv.Shutdown(ctx)
+	if err := reg.Close(ctx); err != nil && shutdownErr == nil {
+		shutdownErr = err
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) && shutdownErr == nil {
+		shutdownErr = err
+	}
+	if shutdownErr != nil {
+		return fmt.Errorf("shutdown: %w", shutdownErr)
+	}
+	fmt.Fprintln(stderr, "autofjd: stopped")
+	return nil
+}

@@ -1,0 +1,170 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+const testProgramJSON = `{
+  "version": 1,
+  "configurations": [{"preprocess": "L", "distance": "ED", "threshold": 0.4}],
+  "blocking_beta": 1
+}`
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// startDaemon runs the daemon on a loopback port and returns its base
+// URL plus a stop function that triggers and awaits graceful shutdown.
+func startDaemon(t *testing.T, args []string) (string, func() error) {
+	t.Helper()
+	ready := make(chan string, 1)
+	shutdown := make(chan struct{})
+	done := make(chan error, 1)
+	var stderr bytes.Buffer
+	go func() { done <- run(args, &stderr, ready, shutdown) }()
+	select {
+	case addr := <-ready:
+		return "http://" + addr, func() error {
+			close(shutdown)
+			select {
+			case err := <-done:
+				return err
+			case <-time.After(10 * time.Second):
+				return io.ErrNoProgress
+			}
+		}
+	case err := <-done:
+		t.Fatalf("daemon exited before ready: %v (stderr: %s)", err, stderr.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	return "", nil
+}
+
+// TestDaemonEndToEnd: start from flags, serve a query, check readiness
+// and metrics, then shut down gracefully.
+func TestDaemonEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	progPath := filepath.Join(dir, "prog.json")
+	leftPath := filepath.Join(dir, "left.csv")
+	writeFile(t, progPath, testProgramJSON)
+	writeFile(t, leftPath, "name\nalpha research institute\nbravo analytics bureau\n")
+
+	base, stop := startDaemon(t, []string{
+		"-addr", "127.0.0.1:0",
+		"-name", "orgs", "-program", progPath, "-left", leftPath, "-column", "name",
+	})
+
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("readyz = %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(base + "/v1/programs/orgs/query?q=alpha+reserch+institute")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q struct {
+		Match     bool   `json:"match"`
+		LeftValue string `json:"left_value"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&q); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !q.Match || q.LeftValue != "alpha research institute" {
+		t.Errorf("query answer: %+v", q)
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(metrics), "autofjd_requests_total 1") {
+		t.Errorf("metrics after one query:\n%s", metrics)
+	}
+
+	if err := stop(); err != nil {
+		t.Errorf("shutdown: %v", err)
+	}
+
+	// The listener must actually be gone.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Error("daemon still serving after shutdown")
+	}
+}
+
+// TestDaemonConfigFile: the -config path end to end, including config
+// defaults applied to the batcher knobs.
+func TestDaemonConfigFile(t *testing.T) {
+	dir := t.TempDir()
+	progPath := filepath.Join(dir, "prog.json")
+	leftPath := filepath.Join(dir, "left.csv")
+	cfgPath := filepath.Join(dir, "autofjd.json")
+	writeFile(t, progPath, testProgramJSON)
+	writeFile(t, leftPath, "name\nalpha research institute\n")
+	writeFile(t, cfgPath, `{
+		"listen": "127.0.0.1:0",
+		"programs": [{"name": "orgs", "program_path": `+jsonString(progPath)+`,
+		              "left_path": `+jsonString(leftPath)+`}],
+		"batch_window_us": 100, "cache_size": 16
+	}`)
+
+	base, stop := startDaemon(t, []string{"-config", cfgPath})
+	defer stop()
+
+	var listing struct {
+		Programs []struct {
+			Name    string `json:"name"`
+			Records int    `json:"records"`
+		} `json:"programs"`
+	}
+	resp, err := http.Get(base + "/v1/programs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(listing.Programs) != 1 || listing.Programs[0].Name != "orgs" || listing.Programs[0].Records != 1 {
+		t.Errorf("listing: %+v", listing)
+	}
+}
+
+// TestDaemonFlagValidation: the startup error paths exit instead of
+// serving nothing.
+func TestDaemonFlagValidation(t *testing.T) {
+	if err := run(nil, io.Discard, nil, nil); err == nil {
+		t.Error("no programs accepted")
+	}
+	if err := run([]string{"-name", "orgs"}, io.Discard, nil, nil); err == nil {
+		t.Error("-name without -program/-left accepted")
+	}
+	if err := run([]string{"-config", "/nonexistent/autofjd.json"}, io.Discard, nil, nil); err == nil {
+		t.Error("missing config accepted")
+	}
+}
+
+func jsonString(s string) string {
+	b, _ := json.Marshal(s)
+	return string(b)
+}

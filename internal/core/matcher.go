@@ -33,6 +33,10 @@ type Match struct {
 // noMatch is the canonical unmatched result.
 func noMatch() Match { return Match{Left: -1, Config: -1} }
 
+// NoMatch returns the canonical unmatched result (Left and Config -1) —
+// what serving layers should answer for a query they could not run.
+func NoMatch() Match { return noMatch() }
+
 // Matcher is a join program compiled against a fixed reference table: the
 // blocking index, per-record profiles, frozen negative rules, and the
 // precision-estimation geometry are built exactly once, so queries are
@@ -238,6 +242,18 @@ func (m *Matcher) Len() int { return m.nL }
 // rather than single strings (Match).
 func (m *Matcher) MultiColumn() bool { return m.multi }
 
+// RowWidth returns the exact number of cells MatchRow requires: the
+// reference table's arity for a multi-column matcher, 1 otherwise.
+// Serving layers that coalesce requests into MatchRows batches must
+// validate each row against this up front — MatchRows rejects the whole
+// batch on one malformed row, which would fail innocent bystanders.
+func (m *Matcher) RowWidth() int {
+	if !m.multi {
+		return 1
+	}
+	return m.rowWidth
+}
+
 // Program returns the configurations the matcher serves, in program
 // order (Match.Config indexes this slice).
 func (m *Matcher) Program() []Configuration {
@@ -245,10 +261,17 @@ func (m *Matcher) Program() []Configuration {
 }
 
 func (m *Matcher) getScratch() *matchScratch { return m.pool.Get().(*matchScratch) }
+
+// putScratch returns a scratch to the pool with every query-derived
+// reference released: a pooled scratch lives for the matcher's lifetime,
+// so a leftover profile, cell, or word set would pin arbitrary user input
+// in a long-lived server. qwords is cleared to capacity — AppendWordSet
+// reslices it from zero, so entries beyond the current length still hold
+// strings from earlier (longer) queries.
 func (m *Matcher) putScratch(ms *matchScratch) {
-	for i := range ms.qprof {
-		ms.qprof[i] = nil // don't pin query profiles across calls
-	}
+	clear(ms.qprof)
+	clear(ms.qcells)
+	clear(ms.qwords[:cap(ms.qwords)])
 	m.pool.Put(ms)
 }
 

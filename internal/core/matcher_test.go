@@ -4,6 +4,7 @@ import (
 	"context"
 	"iter"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -423,6 +424,174 @@ func TestMatcherEmptyProgram(t *testing.T) {
 	for i, mt := range matches {
 		if mt.Left != -1 || mt.Config != -1 {
 			t.Errorf("empty program matched record %d: %+v", i, mt)
+		}
+	}
+}
+
+// TestPutScratchReleasesQueryReferences: a pooled scratch lives for the
+// matcher's lifetime, so returning one to the pool must drop every
+// query-derived reference (profiles, raw cells, and the negative-rule
+// word set up to its full capacity) — otherwise a long-lived server pins
+// arbitrary user input between requests.
+func TestPutScratchReleasesQueryReferences(t *testing.T) {
+	prog := &Program{
+		Version: 1,
+		Configurations: []ConfigurationSpec{
+			{Preprocess: "L", Distance: "ED", Threshold: 0.4},
+		},
+		NegativeRules: [][2]string{{"football", "basketball"}},
+		BlockingBeta:  1,
+	}
+	m, err := prog.Compile(makeReference(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := m.getScratch()
+	// A long query first, so a later shorter query leaves stale words in
+	// the qwords backing array beyond the reslice length.
+	m.matchOne(ms, "2008 wisconsin badgers football team alpha beta gamma delta", nil)
+	m.matchOne(ms, "lsu tigers", nil)
+	if ms.qcells[0] == "" || len(ms.qwords) == 0 {
+		t.Fatal("query did not populate the scratch; the test is vacuous")
+	}
+	m.putScratch(ms)
+	for i, p := range ms.qprof {
+		if p != nil {
+			t.Errorf("qprof[%d] still pinned after putScratch", i)
+		}
+	}
+	for i, c := range ms.qcells {
+		if c != "" {
+			t.Errorf("qcells[%d] = %q still pinned after putScratch", i, c)
+		}
+	}
+	for i, w := range ms.qwords[:cap(ms.qwords)] {
+		if w != "" {
+			t.Errorf("qwords[%d] = %q still pinned after putScratch (cap %d)", i, w, cap(ms.qwords))
+		}
+	}
+}
+
+// TestMatchStreamBreakMidChunk: a consumer breaking in the middle of a
+// delivered chunk, with more chunks still queued behind it, must return
+// promptly without deadlocking the producer.
+func TestMatchStreamBreakMidChunk(t *testing.T) {
+	L, R := makeTask(t, 61, 2)
+	res, err := JoinTables(L, R, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := res.ToProgram().Compile(L, Options{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// More than two chunks of input so the producer is mid-stream when the
+	// consumer walks away.
+	var many []string
+	for len(many) < 3*streamChunk+7 {
+		many = append(many, R[len(many)%len(R)])
+	}
+	seq := func(yield func(string) bool) {
+		for _, r := range many {
+			if !yield(r) {
+				return
+			}
+		}
+	}
+	n := 0
+	for _, err := range m.MatchStream(context.Background(), iter.Seq[string](seq)) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n++; n == streamChunk/2 {
+			break // mid-chunk, with ~3 chunks still unconsumed
+		}
+	}
+	if n != streamChunk/2 {
+		t.Fatalf("consumed %d results before break", n)
+	}
+}
+
+// TestMatchStreamCancelAfterFinalResult: a context cancelled only after
+// the last result has been delivered did not cut the stream short, so the
+// iterator must finish cleanly instead of yielding a spurious error.
+func TestMatchStreamCancelAfterFinalResult(t *testing.T) {
+	L, R := makeTask(t, 67, 3)
+	res, err := JoinTables(L, R, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := res.ToProgram().Compile(L, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := func(yield func(string) bool) {
+		for _, r := range R {
+			if !yield(r) {
+				return
+			}
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	n := 0
+	for sm, err := range m.MatchStream(ctx, iter.Seq[string](seq)) {
+		if err != nil {
+			t.Fatalf("spurious error after result %d: %v", n, err)
+		}
+		n++
+		if sm.Index == len(R)-1 {
+			cancel() // after the final result, before the iterator returns
+		}
+	}
+	if n != len(R) {
+		t.Fatalf("stream yielded %d of %d", n, len(R))
+	}
+}
+
+// TestMatchBatchCancelNoPartialResults: a batch cut short by cancellation
+// must surface the error with a nil result — never a slice whose
+// unprocessed tail is zero-valued Match{} entries, which would read as
+// confident joins to reference record 0.
+func TestMatchBatchCancelNoPartialResults(t *testing.T) {
+	L, R := makeTask(t, 71, 2)
+	res, err := JoinTables(L, R, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := res.ToProgram().Compile(L, Options{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var big []string
+	for len(big) < 2000 {
+		big = append(big, R[len(big)%len(R)])
+	}
+	for round := 0; round < 8; round++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for i := 0; i < round*200; i++ {
+				runtime.Gosched()
+			}
+			cancel()
+		}()
+		got, err := m.MatchBatch(ctx, big)
+		<-done
+		if err != nil {
+			if got != nil {
+				t.Fatalf("round %d: error %v returned alongside %d results", round, err, len(got))
+			}
+			continue
+		}
+		// Completed despite the racing cancel: every entry must be fully
+		// formed — either the canonical no-match or a real join.
+		for i, mt := range got {
+			valid := (mt.Left == -1 && mt.Config == -1) || (mt.Left >= 0 && mt.Config >= 0 && mt.Precision > 0)
+			if !valid {
+				t.Fatalf("round %d: entry %d is partially zero-valued: %+v", round, i, mt)
+			}
 		}
 	}
 }

@@ -1,0 +1,176 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/core"
+)
+
+// batchRequest is one query waiting to be coalesced. done is buffered so
+// the dispatcher never blocks on a caller that gave up (its context
+// expired); the abandoned result is simply dropped.
+type batchRequest struct {
+	row  []string
+	done chan batchResult
+}
+
+type batchResult struct {
+	m   core.Match
+	ok  bool
+	cp  *compiledProgram // the program version that answered (nil on shutdown)
+	err error
+}
+
+// batcher coalesces concurrent single-query requests into MatchBatch /
+// MatchRows calls: the first query of a batch opens a window (b.window),
+// companions arriving inside it join, and the batch dispatches when the
+// window closes or b.max queries are aboard. Dispatch is asynchronous —
+// the collector immediately starts the next batch, so a slow batch never
+// head-of-line-blocks new arrivals; maxInflightBatches bounds the
+// concurrent MatchBatch calls (each of which fans out internally).
+type batcher struct {
+	ch     chan *batchRequest
+	window time.Duration
+	max    int
+}
+
+// maxInflightBatches bounds concurrently dispatched batches per program.
+const maxInflightBatches = 4
+
+func newBatcher(window time.Duration, max int) *batcher {
+	if max < 1 {
+		max = 1
+	}
+	return &batcher{ch: make(chan *batchRequest, 4*max), window: window, max: max}
+}
+
+// submit enqueues a request, failing fast when the batcher is stopping.
+func (b *batcher) submit(ctx context.Context, stop <-chan struct{}, req *batchRequest) error {
+	select {
+	case b.ch <- req:
+		return nil
+	case <-stop:
+		return ErrShuttingDown
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// run is the collector loop: one goroutine per program. cur loads the
+// program's current compiled state at dispatch time, so a hot swap takes
+// effect on the next batch while in-flight batches finish on the matcher
+// they started with. On stop, queued and newly arriving requests are
+// answered with ErrShuttingDown; wg tracks the collector and every
+// dispatched batch so Registry.Close can drain with a deadline.
+func (b *batcher) run(stop <-chan struct{}, cur func() *compiledProgram, met *Metrics, wg *sync.WaitGroup) {
+	defer wg.Done()
+	inflight := make(chan struct{}, maxInflightBatches)
+	var timer *time.Timer
+	for {
+		var first *batchRequest
+		select {
+		case first = <-b.ch:
+		case <-stop:
+			b.drain()
+			return
+		}
+		batch := []*batchRequest{first}
+		if b.window > 0 && b.max > 1 {
+			if timer == nil {
+				timer = time.NewTimer(b.window)
+			} else {
+				timer.Reset(b.window)
+			}
+		collect:
+			for len(batch) < b.max {
+				select {
+				case req := <-b.ch:
+					batch = append(batch, req)
+				case <-timer.C:
+					break collect
+				case <-stop:
+					break collect
+				}
+			}
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+		} else {
+			// Zero window: take whatever is already queued, dispatch now.
+			for more := true; more && len(batch) < b.max; {
+				select {
+				case req := <-b.ch:
+					batch = append(batch, req)
+				default:
+					more = false
+				}
+			}
+		}
+		select {
+		case inflight <- struct{}{}:
+		case <-stop:
+			// Shutting down with the dispatch pipeline full: answer this
+			// batch with the shutdown error instead of queueing more work.
+			for _, req := range batch {
+				req.done <- batchResult{m: core.NoMatch(), err: ErrShuttingDown}
+			}
+			b.drain()
+			return
+		}
+		wg.Add(1)
+		go func(batch []*batchRequest) {
+			defer wg.Done()
+			defer func() { <-inflight }()
+			b.dispatch(batch, cur(), met)
+		}(batch)
+	}
+}
+
+// dispatch answers one collected batch against a fixed compiled program.
+// The matcher call uses context.Background(): batches are millisecond-
+// scale, and cutting one short would fail queries that were already
+// accepted — the drain deadline in Registry.Close bounds the wait
+// instead.
+func (b *batcher) dispatch(batch []*batchRequest, cp *compiledProgram, met *Metrics) {
+	met.batches.Add(1)
+	met.batchQueries.Add(uint64(len(batch)))
+	var matches []core.Match
+	var err error
+	if cp.matcher.MultiColumn() {
+		rows := make([][]string, len(batch))
+		for i, req := range batch {
+			rows[i] = req.row
+		}
+		matches, err = cp.matcher.MatchRows(context.Background(), rows)
+	} else {
+		records := make([]string, len(batch))
+		for i, req := range batch {
+			records[i] = req.row[0]
+		}
+		matches, err = cp.matcher.MatchBatch(context.Background(), records)
+	}
+	for i, req := range batch {
+		if err != nil {
+			req.done <- batchResult{m: core.NoMatch(), cp: cp, err: err}
+			continue
+		}
+		req.done <- batchResult{m: matches[i], ok: matches[i].Left >= 0, cp: cp}
+	}
+}
+
+// drain answers everything still queued with the shutdown error.
+func (b *batcher) drain() {
+	for {
+		select {
+		case req := <-b.ch:
+			req.done <- batchResult{m: core.NoMatch(), err: ErrShuttingDown}
+		default:
+			return
+		}
+	}
+}

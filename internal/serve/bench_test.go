@@ -1,0 +1,189 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// --- Serving-daemon load benches ---
+//
+// These measure the daemon data path end to end: micro-batching,
+// caching, and rendering, against a 10k-record reference table. CI runs
+// them once per build and archives the output as BENCH_serve.json, so
+// the sustained-QPS and tail-latency trajectory is reviewable in-tree.
+
+// benchProgramJSON matches the root package's servingProgram: a fixed
+// two-configuration program so the bench measures the query path, not a
+// learning run.
+const benchProgramJSON = `{
+  "version": 1,
+  "configurations": [
+    {"preprocess": "L", "distance": "ED", "threshold": 0.25},
+    {"preprocess": "L", "tokenization": "SP", "token_weights": "IDFW", "distance": "JD", "threshold": 0.35}
+  ],
+  "blocking_beta": 1
+}`
+
+// benchReference generates n org-style reference records (same shape and
+// seed family as the root package's blockingBenchTables).
+func benchReference(n int) []string {
+	rng := rand.New(rand.NewSource(17))
+	adj := []string{"northern", "southern", "united", "royal", "national", "central",
+		"pacific", "metropolitan", "first", "imperial"}
+	noun := []string{"institute", "university", "museum", "society", "college",
+		"laboratory", "federation", "observatory", "council", "bureau"}
+	field := []string{"science", "history", "technology", "arts", "medicine",
+		"commerce", "astronomy", "agriculture"}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("%s %s of %s %d", adj[rng.Intn(len(adj))],
+			noun[rng.Intn(len(noun))], field[rng.Intn(len(field))], rng.Intn(300))
+	}
+	return out
+}
+
+// benchQueries derives a query stream from the reference: two thirds are
+// perturbed copies of real records (dropped characters, case noise), one
+// third is unrelated junk, so both the match and no-match paths run.
+func benchQueries(ref []string, n int) []string {
+	rng := rand.New(rand.NewSource(43))
+	out := make([]string, n)
+	for i := range out {
+		switch i % 3 {
+		case 0:
+			r := ref[rng.Intn(len(ref))]
+			cut := 1 + rng.Intn(3)
+			out[i] = r[:len(r)-cut]
+		case 1:
+			out[i] = strings.ToUpper(ref[rng.Intn(len(ref))])
+		default:
+			out[i] = fmt.Sprintf("unrelated record %d %d", rng.Intn(1000), rng.Intn(1000))
+		}
+	}
+	return out
+}
+
+func benchSpec(name string, records int) ProgramSpec {
+	return ProgramSpec{
+		Name:    name,
+		Program: json.RawMessage(benchProgramJSON),
+		LeftCSV: "name\n" + strings.Join(benchReference(records), "\n") + "\n",
+	}
+}
+
+func benchRegistry(b *testing.B, cfg Config) *Registry {
+	b.Helper()
+	reg := NewRegistry(cfg, NewMetrics(time.Now()))
+	if err := reg.Register(benchSpec("orgs", 10000)); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := reg.Close(ctx); err != nil {
+			b.Error(err)
+		}
+	})
+	return reg
+}
+
+// reportServing turns the registry's own metrics into bench metrics:
+// sustained QPS plus the p50/p99 the daemon would export on /metrics.
+func reportServing(b *testing.B, reg *Registry, elapsed time.Duration) {
+	b.Helper()
+	snap := reg.Metrics().Snapshot(time.Now())
+	if elapsed > 0 {
+		b.ReportMetric(float64(b.N)/elapsed.Seconds(), "qps")
+	}
+	b.ReportMetric(snap.P50*1e6, "p50_us")
+	b.ReportMetric(snap.P99*1e6, "p99_us")
+	if snap.Batches > 0 {
+		b.ReportMetric(float64(snap.BatchQueries)/float64(snap.Batches), "batch_size")
+	}
+}
+
+// BenchmarkServeSustained is the headline load bench: concurrent callers
+// hammer Registry.Query against a 10k-record table with the cache
+// disabled, so every query rides a micro-batch into the matcher.
+func BenchmarkServeSustained(b *testing.B) {
+	reg := benchRegistry(b, Config{CacheSize: -1})
+	queries := benchQueries(benchReference(10000), 4096)
+	b.SetParallelism(8) // 8 concurrent callers per core so batches coalesce
+	b.ResetTimer()
+	start := time.Now()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(int64(len(queries))))
+		for pb.Next() {
+			q := queries[rng.Intn(len(queries))]
+			if _, err := reg.Query(context.Background(), "orgs", []string{q}); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	reportServing(b, reg, time.Since(start))
+}
+
+// BenchmarkServeCached replays a small working set through the LRU so
+// the steady state is mostly cache hits — the latency floor of the
+// daemon data path.
+func BenchmarkServeCached(b *testing.B) {
+	reg := benchRegistry(b, Config{})
+	queries := benchQueries(benchReference(10000), 256) // fits DefaultCacheSize
+	b.SetParallelism(8)
+	b.ResetTimer()
+	start := time.Now()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(7))
+		for pb.Next() {
+			q := queries[rng.Intn(len(queries))]
+			if _, err := reg.Query(context.Background(), "orgs", []string{q}); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	reportServing(b, reg, time.Since(start))
+}
+
+// BenchmarkServeHTTP runs the same load through the full HTTP stack
+// (mux, handler, JSON encoding) — the number a deployment would see.
+func BenchmarkServeHTTP(b *testing.B) {
+	reg := benchRegistry(b, Config{CacheSize: -1})
+	srv := NewServer(reg)
+	ts := httptest.NewServer(srv.Handler())
+	b.Cleanup(ts.Close)
+	queries := benchQueries(benchReference(10000), 1024)
+	urls := make([]string, len(queries))
+	for i, q := range queries {
+		urls[i] = ts.URL + "/v1/programs/orgs/query?q=" + strings.ReplaceAll(q, " ", "+")
+	}
+	b.SetParallelism(8)
+	b.ResetTimer()
+	start := time.Now()
+	b.RunParallel(func(pb *testing.PB) {
+		rng := rand.New(rand.NewSource(11))
+		for pb.Next() {
+			resp, err := http.Get(urls[rng.Intn(len(urls))])
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				b.Errorf("status %d", resp.StatusCode)
+			}
+			resp.Body.Close()
+		}
+	})
+	b.StopTimer()
+	reportServing(b, reg, time.Since(start))
+}

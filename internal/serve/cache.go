@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"container/list"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/core"
+)
+
+// cachedMatch is one memoized answer. Match values are stored exactly as
+// MatchBatch produced them, so a cache hit is bit-identical to a miss.
+type cachedMatch struct {
+	m  core.Match
+	ok bool
+}
+
+// lruCache is a bounded, mutex-guarded LRU of query-key -> match. One
+// instance serves one program; a nil *lruCache is a valid always-miss
+// cache (caching disabled).
+//
+// Keys are the exact query bytes (length-prefixed per cell) prefixed with
+// the program generation: no textual normalization is applied, because
+// whitespace and case can legitimately change a configuration's distance,
+// and the serving tier guarantees bit-identical results to Matcher.Match.
+// The generation prefix makes every entry of a hot-swapped program an
+// automatic miss even before the swap purges the cache.
+type lruCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recent; values are *cacheItem
+	items map[string]*list.Element
+}
+
+type cacheItem struct {
+	key string
+	val cachedMatch
+}
+
+// newLRUCache returns a cache bounded to capacity entries, or nil
+// (caching disabled) when capacity <= 0.
+func newLRUCache(capacity int) *lruCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &lruCache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+func (c *lruCache) get(key string) (cachedMatch, bool) {
+	if c == nil {
+		return cachedMatch{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return cachedMatch{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheItem).val, true
+}
+
+func (c *lruCache) put(key string, val cachedMatch) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheItem).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheItem{key: key, val: val})
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheItem).key)
+	}
+}
+
+// purge empties the cache (called after a hot swap so the old program's
+// entries stop occupying capacity; correctness never depends on this —
+// the generation key prefix already invalidates them).
+func (c *lruCache) purge() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	clear(c.items)
+}
+
+func (c *lruCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// cacheKey renders a query row unambiguously: the program generation,
+// then each cell length-prefixed (so no cell content can collide with
+// another row's boundaries).
+func cacheKey(gen uint64, row []string) string {
+	var b strings.Builder
+	b.WriteString(strconv.FormatUint(gen, 10))
+	for _, cell := range row {
+		b.WriteByte('|')
+		b.WriteString(strconv.Itoa(len(cell)))
+		b.WriteByte(':')
+		b.WriteString(cell)
+	}
+	return b.String()
+}

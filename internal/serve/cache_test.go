@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"testing"
+
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/core"
+)
+
+func TestLRUCacheEvictsOldest(t *testing.T) {
+	c := newLRUCache(2)
+	hit := func(i int) cachedMatch { return cachedMatch{m: core.Match{Left: i}, ok: true} }
+	c.put("a", hit(1))
+	c.put("b", hit(2))
+	if _, ok := c.get("a"); !ok { // touch a: b becomes the eviction victim
+		t.Fatal("a missing")
+	}
+	c.put("c", hit(3))
+	if _, ok := c.get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if v, ok := c.get("a"); !ok || v.m.Left != 1 {
+		t.Error("a lost")
+	}
+	if v, ok := c.get("c"); !ok || v.m.Left != 3 {
+		t.Error("c lost")
+	}
+	if c.len() != 2 {
+		t.Errorf("len = %d", c.len())
+	}
+
+	// Re-putting an existing key updates in place, no eviction.
+	c.put("a", hit(9))
+	if v, _ := c.get("a"); v.m.Left != 9 {
+		t.Error("update lost")
+	}
+	if c.len() != 2 {
+		t.Errorf("len after update = %d", c.len())
+	}
+
+	c.purge()
+	if c.len() != 0 {
+		t.Error("purge left entries")
+	}
+	if _, ok := c.get("a"); ok {
+		t.Error("purged entry still hits")
+	}
+}
+
+// A nil cache (caching disabled) must be safe to use and always miss.
+func TestNilCacheIsDisabled(t *testing.T) {
+	var c *lruCache
+	c.put("k", cachedMatch{ok: true})
+	if _, ok := c.get("k"); ok {
+		t.Error("nil cache hit")
+	}
+	c.purge()
+	if c.len() != 0 {
+		t.Error("nil cache len")
+	}
+	if newLRUCache(0) != nil || newLRUCache(-5) != nil {
+		t.Error("non-positive capacity should disable the cache")
+	}
+}
+
+// cacheKey must keep cell boundaries and generations unambiguous: no two
+// distinct (generation, row) pairs may share a key.
+func TestCacheKeyUnambiguous(t *testing.T) {
+	keys := map[string][2]any{}
+	cases := []struct {
+		gen uint64
+		row []string
+	}{
+		{0, []string{"ab", "c"}},
+		{0, []string{"a", "bc"}},
+		{0, []string{"abc"}},
+		{0, []string{"ab,c"}},
+		{0, []string{"ab|1:c"}},
+		{1, []string{"ab", "c"}}, // same row, new generation
+		{0, []string{""}},
+		{0, []string{"", ""}},
+	}
+	for _, c := range cases {
+		k := cacheKey(c.gen, c.row)
+		if prev, dup := keys[k]; dup {
+			t.Errorf("collision: %v and gen=%d row=%v both key to %q", prev, c.gen, c.row, k)
+		}
+		keys[k] = [2]any{c.gen, c.row}
+	}
+}

@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/core"
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/dataset"
+)
+
+// This file is the CSV/program plumbing shared by the serving tier and
+// the CLIs (cmd/autofj, cmd/autofjd): reading tables, picking the key
+// column, and compiling a program against a reference table.
+
+// ReadCSVFile parses a CSV table (with a header row) from a file.
+func ReadCSVFile(path string) (dataset.Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return dataset.Table{}, err
+	}
+	defer f.Close()
+	t, err := dataset.ReadCSV(f)
+	if err != nil {
+		return dataset.Table{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}
+
+// LoadProgramFile reads and decodes a saved join program.
+func LoadProgramFile(path string) (*core.Program, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	p, err := core.DecodeProgram(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return p, nil
+}
+
+// KeyColumn returns the named join key column, or the first column when
+// name is empty.
+func KeyColumn(t dataset.Table, name string) ([]string, error) {
+	if name == "" {
+		if len(t.Columns) == 0 {
+			return nil, fmt.Errorf("table has no columns")
+		}
+		return t.Column(0), nil
+	}
+	col, ok := t.ColumnByName(name)
+	if !ok {
+		return nil, fmt.Errorf("column %q not found (have %v)", name, t.Columns)
+	}
+	return col, nil
+}
+
+// ConcatRows renders each row as its whitespace-normalized concatenation
+// — the display value of multi-column records.
+func ConcatRows(t dataset.Table) []string {
+	out := make([]string, t.NumRows())
+	for i, row := range t.Rows {
+		out[i] = strings.Join(strings.Fields(strings.Join(row, " ")), " ")
+	}
+	return out
+}
+
+// CompileProgram builds the serving matcher for a program against the
+// reference table, returning the display values of the reference records
+// (the key column for single-column programs, the concatenated row for
+// multi-column ones). column names the single-column join key; it is
+// ignored for multi-column programs.
+func CompileProgram(prog *core.Program, left dataset.Table, column string, opt core.Options) (*core.Matcher, []string, error) {
+	if len(prog.Columns) > 0 {
+		m, err := prog.CompileMultiColumn(left.AllColumns(), opt)
+		return m, ConcatRows(left), err
+	}
+	leftVals, err := KeyColumn(left, column)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := prog.Compile(leftVals, opt)
+	return m, leftVals, err
+}

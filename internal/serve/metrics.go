@@ -1,0 +1,225 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latBuckets is the latency histogram resolution: geometric buckets from
+// 1µs doubling up to ~16.8s, plus an overflow bucket. Quantiles are read
+// as the upper bound of the bucket holding the target rank — at 2x
+// resolution that is within a factor of two of the true value, which is
+// what tail-latency dashboards need.
+const latBuckets = 25
+
+// histogram is a lock-free latency histogram.
+type histogram struct {
+	counts [latBuckets + 1]atomic.Uint64
+	count  atomic.Uint64
+	sumNS  atomic.Uint64
+}
+
+func bucketOf(d time.Duration) int {
+	us := d.Microseconds()
+	for i := 0; i < latBuckets; i++ {
+		if us < 1<<i {
+			return i
+		}
+	}
+	return latBuckets
+}
+
+// bucketBound returns the upper bound of bucket i in seconds.
+func bucketBound(i int) float64 {
+	if i >= latBuckets {
+		return math.Inf(1)
+	}
+	return float64(uint64(1)<<i) / 1e6
+}
+
+func (h *histogram) observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.counts[bucketOf(d)].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(uint64(d.Nanoseconds()))
+}
+
+// quantile estimates the q-quantile in seconds (0 when empty).
+func (h *histogram) quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			if b := bucketBound(i); !math.IsInf(b, 1) {
+				return b
+			}
+			// Overflow bucket: report the mean of what landed there is
+			// unknowable; fall back to the largest finite bound.
+			return bucketBound(latBuckets - 1)
+		}
+	}
+	return bucketBound(latBuckets - 1)
+}
+
+// Metrics aggregates the daemon-wide serving counters. All fields are
+// atomically updated; Write renders a Prometheus text-format snapshot.
+type Metrics struct {
+	start time.Time
+
+	requests     atomic.Uint64 // data-path queries received
+	failures     atomic.Uint64 // queries answered with an error
+	cacheHits    atomic.Uint64
+	cacheMisses  atomic.Uint64
+	batches      atomic.Uint64 // dispatched micro-batches
+	batchQueries atomic.Uint64 // queries carried by those batches
+	swaps        atomic.Uint64 // program registrations/hot swaps
+
+	lat histogram
+
+	mu       sync.Mutex
+	programs map[string]*programStats
+}
+
+// programStats is the per-program slice of the metrics.
+type programStats struct {
+	queries atomic.Uint64
+	matched atomic.Uint64
+}
+
+// NewMetrics returns an empty metrics sink; start anchors the QPS and
+// uptime gauges.
+func NewMetrics(start time.Time) *Metrics {
+	return &Metrics{start: start, programs: make(map[string]*programStats)}
+}
+
+func (m *Metrics) forProgram(name string) *programStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ps, ok := m.programs[name]
+	if !ok {
+		ps = &programStats{}
+		m.programs[name] = ps
+	}
+	return ps
+}
+
+func (m *Metrics) dropProgram(name string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.programs, name)
+}
+
+// Snapshot is a point-in-time read of the headline numbers (used by the
+// load bench and the /v1/programs listing).
+type Snapshot struct {
+	Requests     uint64
+	Failures     uint64
+	CacheHits    uint64
+	CacheMisses  uint64
+	Batches      uint64
+	BatchQueries uint64
+	P50          float64 // seconds
+	P99          float64 // seconds
+	QPS          float64 // requests since start / uptime
+}
+
+// Snapshot reads the current counters; now anchors the QPS window.
+func (m *Metrics) Snapshot(now time.Time) Snapshot {
+	s := Snapshot{
+		Requests:     m.requests.Load(),
+		Failures:     m.failures.Load(),
+		CacheHits:    m.cacheHits.Load(),
+		CacheMisses:  m.cacheMisses.Load(),
+		Batches:      m.batches.Load(),
+		BatchQueries: m.batchQueries.Load(),
+		P50:          m.lat.quantile(0.50),
+		P99:          m.lat.quantile(0.99),
+	}
+	if up := now.Sub(m.start).Seconds(); up > 0 {
+		s.QPS = float64(s.Requests) / up
+	}
+	return s
+}
+
+// Write renders the Prometheus text exposition format; now anchors the
+// uptime and QPS gauges.
+func (m *Metrics) Write(w io.Writer, now time.Time) {
+	s := m.Snapshot(now)
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter("autofjd_requests_total", "Data-path queries received.", s.Requests)
+	counter("autofjd_request_failures_total", "Queries answered with an error.", s.Failures)
+	counter("autofjd_cache_hits_total", "Result cache hits.", s.CacheHits)
+	counter("autofjd_cache_misses_total", "Result cache misses.", s.CacheMisses)
+	counter("autofjd_batches_total", "Micro-batches dispatched to MatchBatch.", s.Batches)
+	counter("autofjd_batch_queries_total", "Queries carried by dispatched micro-batches.", s.BatchQueries)
+	counter("autofjd_program_swaps_total", "Program registrations and hot swaps.", m.swaps.Load())
+	gauge("autofjd_uptime_seconds", "Seconds since the daemon started.", now.Sub(m.start).Seconds())
+	gauge("autofjd_qps", "Requests per second since start.", s.QPS)
+	if hits, misses := s.CacheHits, s.CacheMisses; hits+misses > 0 {
+		gauge("autofjd_cache_hit_rate", "Cache hits / lookups since start.",
+			float64(hits)/float64(hits+misses))
+	}
+	if s.Batches > 0 {
+		gauge("autofjd_batch_size_avg", "Mean queries per dispatched micro-batch.",
+			float64(s.BatchQueries)/float64(s.Batches))
+	}
+
+	fmt.Fprintf(w, "# HELP autofjd_request_latency_seconds Data-path latency quantiles.\n")
+	fmt.Fprintf(w, "# TYPE autofjd_request_latency_seconds summary\n")
+	for _, q := range []struct {
+		q float64
+		s string
+	}{{0.5, "0.5"}, {0.9, "0.9"}, {0.99, "0.99"}} {
+		fmt.Fprintf(w, "autofjd_request_latency_seconds{quantile=%q} %g\n", q.s, m.lat.quantile(q.q))
+	}
+	fmt.Fprintf(w, "autofjd_request_latency_seconds_sum %g\n", float64(m.lat.sumNS.Load())/1e9)
+	fmt.Fprintf(w, "autofjd_request_latency_seconds_count %d\n", m.lat.count.Load())
+
+	m.mu.Lock()
+	names := make([]string, 0, len(m.programs))
+	for name := range m.programs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	stats := make([]*programStats, len(names))
+	for i, name := range names {
+		stats[i] = m.programs[name]
+	}
+	m.mu.Unlock()
+	if len(names) > 0 {
+		fmt.Fprintf(w, "# HELP autofjd_program_queries_total Queries per program.\n# TYPE autofjd_program_queries_total counter\n")
+		for i, name := range names {
+			fmt.Fprintf(w, "autofjd_program_queries_total{program=%q} %d\n", name, stats[i].queries.Load())
+		}
+		fmt.Fprintf(w, "# HELP autofjd_program_matches_total Matched queries per program.\n# TYPE autofjd_program_matches_total counter\n")
+		for i, name := range names {
+			fmt.Fprintf(w, "autofjd_program_matches_total{program=%q} %d\n", name, stats[i].matched.Load())
+		}
+		fmt.Fprintf(w, "# HELP autofjd_program_match_rate Matched / answered queries per program.\n# TYPE autofjd_program_match_rate gauge\n")
+		for i, name := range names {
+			if q := stats[i].queries.Load(); q > 0 {
+				fmt.Fprintf(w, "autofjd_program_match_rate{program=%q} %g\n", name, float64(stats[i].matched.Load())/float64(q))
+			}
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h histogram
+	if h.quantile(0.5) != 0 {
+		t.Error("empty histogram quantile != 0")
+	}
+	// 90 fast observations, 10 slow ones: p50 lands in the fast bucket,
+	// p99 in the slow one. Quantiles are bucket upper bounds, so compare
+	// against the bounds the observations fall under.
+	for i := 0; i < 90; i++ {
+		h.observe(3 * time.Microsecond) // bucket bound 4µs
+	}
+	for i := 0; i < 10; i++ {
+		h.observe(3 * time.Millisecond) // bucket bound ~4.1ms
+	}
+	if p50 := h.quantile(0.50); p50 > 10e-6 {
+		t.Errorf("p50 = %g s, want <= 4µs bound", p50)
+	}
+	p99 := h.quantile(0.99)
+	if p99 < 2e-3 || p99 > 10e-3 {
+		t.Errorf("p99 = %g s, want ~4ms bound", p99)
+	}
+	if h.count.Load() != 100 {
+		t.Errorf("count = %d", h.count.Load())
+	}
+	// Negative durations (clock skew) clamp instead of corrupting buckets.
+	h.observe(-time.Second)
+	if h.count.Load() != 101 {
+		t.Error("negative observation dropped")
+	}
+}
+
+func TestMetricsWrite(t *testing.T) {
+	start := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	m := NewMetrics(start)
+	m.requests.Add(10)
+	m.failures.Add(1)
+	m.cacheHits.Add(6)
+	m.cacheMisses.Add(4)
+	m.batches.Add(2)
+	m.batchQueries.Add(8)
+	m.swaps.Add(1)
+	m.lat.observe(2 * time.Millisecond)
+	ps := m.forProgram("orgs")
+	ps.queries.Add(10)
+	ps.matched.Add(7)
+
+	var b strings.Builder
+	m.Write(&b, start.Add(2*time.Second))
+	out := b.String()
+	for _, want := range []string{
+		"autofjd_requests_total 10",
+		"autofjd_request_failures_total 1",
+		"autofjd_cache_hits_total 6",
+		"autofjd_cache_misses_total 4",
+		"autofjd_cache_hit_rate 0.6",
+		"autofjd_batches_total 2",
+		"autofjd_batch_queries_total 8",
+		"autofjd_batch_size_avg 4",
+		"autofjd_program_swaps_total 1",
+		"autofjd_uptime_seconds 2",
+		"autofjd_qps 5",
+		`autofjd_request_latency_seconds{quantile="0.99"}`,
+		"autofjd_request_latency_seconds_count 1",
+		`autofjd_program_queries_total{program="orgs"} 10`,
+		`autofjd_program_matches_total{program="orgs"} 7`,
+		`autofjd_program_match_rate{program="orgs"} 0.7`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q:\n%s", want, out)
+		}
+	}
+
+	snap := m.Snapshot(start.Add(2 * time.Second))
+	if snap.Requests != 10 || snap.QPS != 5 || snap.Batches != 2 || snap.BatchQueries != 8 {
+		t.Errorf("snapshot: %+v", snap)
+	}
+
+	m.dropProgram("orgs")
+	b.Reset()
+	m.Write(&b, start.Add(2*time.Second))
+	if strings.Contains(b.String(), `program="orgs"`) {
+		t.Error("dropped program still exported")
+	}
+}

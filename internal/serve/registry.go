@@ -1,0 +1,354 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/core"
+)
+
+// compiledProgram is the immutable serving state of one program version:
+// swap-in replaces the whole value behind an atomic pointer.
+type compiledProgram struct {
+	name     string
+	matcher  *core.Matcher
+	leftVals []string
+	column   string
+	gen      uint64 // monotonically increasing per program name
+}
+
+// program is one registry slot: the current compiled version, the result
+// cache, the micro-batcher, and the per-program counters.
+type program struct {
+	name  string
+	cur   atomic.Pointer[compiledProgram]
+	cache *lruCache
+	bat   *batcher
+	stats *programStats
+}
+
+// Registry holds the named programs of a daemon and runs their
+// micro-batchers. All methods are safe for concurrent use; the data path
+// (Query) takes only a read lock on the name table, and a program's
+// compiled state is swapped atomically so re-registration never blocks
+// or drops in-flight traffic.
+type Registry struct {
+	cfg     Config
+	opt     core.Options
+	metrics *Metrics
+
+	mu    sync.RWMutex
+	progs map[string]*program
+
+	stop    chan struct{}
+	stopped atomic.Bool
+	wg      sync.WaitGroup
+}
+
+// NewRegistry builds an empty registry. Programs listed in cfg.Programs
+// are NOT loaded here — call Register (or RegisterAll) so callers decide
+// how to surface per-program load errors.
+func NewRegistry(cfg Config, metrics *Metrics) *Registry {
+	return &Registry{
+		cfg:     cfg,
+		opt:     core.Options{Parallelism: cfg.Parallelism},
+		metrics: metrics,
+		progs:   make(map[string]*program),
+		stop:    make(chan struct{}),
+	}
+}
+
+// Metrics returns the registry's metrics sink.
+func (r *Registry) Metrics() *Metrics { return r.metrics }
+
+// Register compiles the spec and installs it under its name: a new name
+// gets a fresh slot (cache, batcher, collector goroutine); an existing
+// name is hot-swapped — the compiled pointer is replaced atomically, the
+// generation advances (so cached results of the old version can never be
+// served), and in-flight batches finish on the version they started
+// with. Compilation happens before any lock is taken, so serving
+// continues at full speed while a replacement builds.
+func (r *Registry) Register(spec ProgramSpec) error {
+	if r.stopped.Load() {
+		return ErrShuttingDown
+	}
+	cp, err := spec.resolve(r.opt)
+	if err != nil {
+		return err
+	}
+
+	r.mu.Lock()
+	p, exists := r.progs[spec.Name]
+	if !exists {
+		p = &program{
+			name:  spec.Name,
+			cache: newLRUCache(r.cfg.cacheSize()),
+			bat:   newBatcher(r.cfg.batchWindow(), r.cfg.batchMax()),
+			stats: r.metrics.forProgram(spec.Name),
+		}
+		r.progs[spec.Name] = p
+	}
+	old := p.cur.Load()
+	if old != nil {
+		cp.gen = old.gen + 1
+	}
+	p.cur.Store(cp)
+	r.mu.Unlock()
+
+	if !exists {
+		r.wg.Add(1)
+		go p.bat.run(r.stop, p.cur.Load, r.metrics, &r.wg)
+	}
+	r.metrics.swaps.Add(1)
+	if old != nil {
+		// Entries of the old generation can no longer hit (the key embeds
+		// the generation); purge so they stop occupying capacity.
+		p.cache.purge()
+	}
+	return nil
+}
+
+// RegisterAll registers every spec, stopping at the first failure.
+func (r *Registry) RegisterAll(specs []ProgramSpec) error {
+	for _, spec := range specs {
+		if err := r.Register(spec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Remove drops a program. In-flight queries finish (their batch already
+// holds the compiled state); later queries get ErrUnknownProgram. The
+// slot's collector goroutine keeps draining until Close — one idle
+// goroutine per removed name is a fine price for a lock-free data path.
+func (r *Registry) Remove(name string) bool {
+	r.mu.Lock()
+	p, ok := r.progs[name]
+	if ok {
+		delete(r.progs, name)
+	}
+	r.mu.Unlock()
+	if ok {
+		p.cache.purge()
+		r.metrics.dropProgram(name)
+	}
+	return ok
+}
+
+func (r *Registry) get(name string) *program {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.progs[name]
+}
+
+// ProgramInfo is one row of the registry listing.
+type ProgramInfo struct {
+	Name        string  `json:"name"`
+	Records     int     `json:"records"`
+	MultiColumn bool    `json:"multi_column"`
+	RowWidth    int     `json:"row_width"`
+	Generation  uint64  `json:"generation"`
+	Queries     uint64  `json:"queries"`
+	Matched     uint64  `json:"matched"`
+	MatchRate   float64 `json:"match_rate"`
+	CacheLen    int     `json:"cache_entries"`
+}
+
+// Programs lists the registered programs, sorted by name.
+func (r *Registry) Programs() []ProgramInfo {
+	r.mu.RLock()
+	progs := make([]*program, 0, len(r.progs))
+	for _, p := range r.progs {
+		progs = append(progs, p)
+	}
+	r.mu.RUnlock()
+	out := make([]ProgramInfo, 0, len(progs))
+	for _, p := range progs {
+		cp := p.cur.Load()
+		if cp == nil {
+			continue
+		}
+		info := ProgramInfo{
+			Name:        p.name,
+			Records:     cp.matcher.Len(),
+			MultiColumn: cp.matcher.MultiColumn(),
+			RowWidth:    cp.matcher.RowWidth(),
+			Generation:  cp.gen,
+			Queries:     p.stats.queries.Load(),
+			Matched:     p.stats.matched.Load(),
+			CacheLen:    p.cache.len(),
+		}
+		if info.Queries > 0 {
+			info.MatchRate = float64(info.Matched) / float64(info.Queries)
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// QueryResult is one answered query.
+type QueryResult struct {
+	Match     core.Match
+	OK        bool
+	LeftValue string // display value of the matched reference record
+	Cached    bool
+}
+
+// Query answers one query row against the named program: cache first,
+// then the micro-batcher. row carries exactly one cell for single-column
+// programs and the reference table's arity for multi-column ones —
+// arity is validated here, per request, because MatchRows rejects a
+// whole batch on one malformed row and a bad query must never fail its
+// batch companions. Results are bit-identical to Matcher.Match.
+func (r *Registry) Query(ctx context.Context, name string, row []string) (QueryResult, error) {
+	start := time.Now()
+	r.metrics.requests.Add(1)
+	res, err := r.query(ctx, name, row)
+	r.metrics.lat.observe(time.Since(start))
+	if err != nil {
+		r.metrics.failures.Add(1)
+		return res, err
+	}
+	p := r.get(name)
+	if p != nil {
+		p.stats.queries.Add(1)
+		if res.OK {
+			p.stats.matched.Add(1)
+		}
+	}
+	return res, nil
+}
+
+func (r *Registry) query(ctx context.Context, name string, row []string) (QueryResult, error) {
+	if r.stopped.Load() {
+		return QueryResult{}, ErrShuttingDown
+	}
+	p := r.get(name)
+	if p == nil {
+		return QueryResult{}, ErrUnknownProgram
+	}
+	cp := p.cur.Load()
+	if want := cp.matcher.RowWidth(); len(row) != want {
+		return QueryResult{}, &ArityError{Program: name, Want: want, Got: len(row)}
+	}
+
+	key := cacheKey(cp.gen, row)
+	if v, ok := p.cache.get(key); ok {
+		r.metrics.cacheHits.Add(1)
+		return r.result(cp, v.m, v.ok, true), nil
+	}
+	r.metrics.cacheMisses.Add(1)
+
+	req := &batchRequest{row: row, done: make(chan batchResult, 1)}
+	if err := p.bat.submit(ctx, r.stop, req); err != nil {
+		return QueryResult{}, err
+	}
+	select {
+	case res := <-req.done:
+		if res.err != nil {
+			return QueryResult{}, res.err
+		}
+		// Cache and render under the version that actually answered: the
+		// program may have been swapped between our cp.Load and the
+		// dispatch, and Match.Left indexes that version's reference table.
+		p.cache.put(cacheKey(res.cp.gen, row), cachedMatch{m: res.m, ok: res.ok})
+		return r.result(res.cp, res.m, res.ok, false), nil
+	case <-ctx.Done():
+		return QueryResult{}, ctx.Err()
+	case <-r.stop:
+		return QueryResult{}, ErrShuttingDown
+	}
+}
+
+func (r *Registry) result(cp *compiledProgram, m core.Match, ok bool, cached bool) QueryResult {
+	res := QueryResult{Match: m, OK: ok, Cached: cached}
+	if ok && m.Left >= 0 && m.Left < len(cp.leftVals) {
+		res.LeftValue = cp.leftVals[m.Left]
+	}
+	return res
+}
+
+// QueryBatch answers a pre-assembled batch directly (no micro-batching
+// or caching — the caller already amortized the call). rows must all
+// have the program's RowWidth.
+func (r *Registry) QueryBatch(ctx context.Context, name string, rows [][]string) ([]QueryResult, error) {
+	if r.stopped.Load() {
+		return nil, ErrShuttingDown
+	}
+	p := r.get(name)
+	if p == nil {
+		return nil, ErrUnknownProgram
+	}
+	cp := p.cur.Load()
+	for _, row := range rows {
+		if want := cp.matcher.RowWidth(); len(row) != want {
+			return nil, &ArityError{Program: name, Want: want, Got: len(row)}
+		}
+	}
+	r.metrics.requests.Add(uint64(len(rows)))
+	var matches []core.Match
+	var err error
+	if cp.matcher.MultiColumn() {
+		matches, err = cp.matcher.MatchRows(ctx, rows)
+	} else {
+		records := make([]string, len(rows))
+		for i, row := range rows {
+			records[i] = row[0]
+		}
+		matches, err = cp.matcher.MatchBatch(ctx, records)
+	}
+	if err != nil {
+		r.metrics.failures.Add(uint64(len(rows)))
+		return nil, err
+	}
+	out := make([]QueryResult, len(matches))
+	for i, m := range matches {
+		out[i] = r.result(cp, m, m.Left >= 0, false)
+	}
+	p.stats.queries.Add(uint64(len(rows)))
+	for _, q := range out {
+		if q.OK {
+			p.stats.matched.Add(1)
+		}
+	}
+	return out, nil
+}
+
+// Close drains the registry: new queries fail fast with ErrShuttingDown,
+// queued queries are answered with it, and in-flight batches are given
+// until ctx's deadline to finish.
+func (r *Registry) Close(ctx context.Context) error {
+	if r.stopped.Swap(true) {
+		return nil
+	}
+	close(r.stop)
+	done := make(chan struct{})
+	go func() {
+		r.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// ArityError reports a query row whose cell count does not match the
+// program's required width.
+type ArityError struct {
+	Program string
+	Want    int
+	Got     int
+}
+
+func (e *ArityError) Error() string {
+	return fmt.Sprintf("serve: program %q wants rows with %d cells, got %d", e.Program, e.Want, e.Got)
+}

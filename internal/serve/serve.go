@@ -1,0 +1,192 @@
+// Package serve is the network serving tier of Auto-FuzzyJoin: a
+// registry of named, compiled join programs behind an HTTP/JSON API.
+//
+// The design extends the learn-once / serve-many split one level up the
+// stack. A Registry holds one entry per program name; each entry owns an
+// atomic pointer to its compiled state (the Matcher plus the reference
+// display values), a bounded LRU cache of query results, and a
+// micro-batcher that coalesces concurrent single-query requests into
+// MatchBatch shards. Re-registering a name compiles the new program off
+// to the side and swaps the pointer — in-flight batches finish on the
+// matcher they started with, so a hot swap never drops traffic.
+//
+// Results are bit-identical to calling Matcher.Match directly: the data
+// path only ever reaches the matcher through MatchBatch/MatchRows (the
+// same code path as Match), and the cache stores the exact Match values
+// those calls produced, keyed by the exact query bytes plus the program
+// generation (so a swap can never serve stale answers).
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/core"
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/dataset"
+)
+
+// Errors of the query path. Handlers map these to HTTP statuses.
+var (
+	ErrUnknownProgram = errors.New("serve: unknown program")
+	ErrShuttingDown   = errors.New("serve: shutting down")
+)
+
+// ProgramSpec names one program and says where its pieces come from.
+// Inline fields win over path fields, so the admin endpoint can POST a
+// fully self-contained spec while a config file references files on disk.
+type ProgramSpec struct {
+	Name string `json:"name"`
+	// Program is the inline program JSON (the Program.Encode format);
+	// ProgramPath reads the same bytes from a file.
+	Program     json.RawMessage `json:"program,omitempty"`
+	ProgramPath string          `json:"program_path,omitempty"`
+	// LeftCSV is the inline reference table (CSV with a header row);
+	// LeftPath reads it from a file.
+	LeftCSV  string `json:"left_csv,omitempty"`
+	LeftPath string `json:"left_path,omitempty"`
+	// Column is the join key column of a single-column program (default:
+	// first column). Multi-column programs use every column.
+	Column string `json:"column,omitempty"`
+}
+
+// Config is the daemon configuration (the -config file of autofjd).
+// Durations are plain integers with the unit in the field name so the
+// file stays hand-editable JSON.
+type Config struct {
+	// Listen is the HTTP address (default ":8080").
+	Listen string `json:"listen,omitempty"`
+	// Programs are compiled and registered at startup.
+	Programs []ProgramSpec `json:"programs,omitempty"`
+	// Parallelism bounds matcher compilation and batch fan-out
+	// (0 = all CPUs).
+	Parallelism int `json:"parallelism,omitempty"`
+	// CacheSize is the per-program result cache capacity in entries
+	// (0 = default 4096, negative = disabled).
+	CacheSize int `json:"cache_size,omitempty"`
+	// BatchWindowUS is the micro-batching window in microseconds: how
+	// long the batcher waits for companions after the first query of a
+	// batch (0 = default 500µs, negative = dispatch immediately).
+	BatchWindowUS int `json:"batch_window_us,omitempty"`
+	// BatchMax is the micro-batch size cap (0 = default 64).
+	BatchMax int `json:"batch_max,omitempty"`
+	// DrainTimeoutMS bounds graceful shutdown (0 = default 5000ms).
+	DrainTimeoutMS int `json:"drain_timeout_ms,omitempty"`
+}
+
+// Defaults of the Config knobs.
+const (
+	DefaultListen       = ":8080"
+	DefaultCacheSize    = 4096
+	DefaultBatchWindow  = 500 * time.Microsecond
+	DefaultBatchMax     = 64
+	DefaultDrainTimeout = 5 * time.Second
+)
+
+// ListenAddr returns the HTTP address to bind, defaulted.
+func (c Config) ListenAddr() string {
+	if c.Listen == "" {
+		return DefaultListen
+	}
+	return c.Listen
+}
+
+func (c Config) cacheSize() int {
+	switch {
+	case c.CacheSize < 0:
+		return 0
+	case c.CacheSize == 0:
+		return DefaultCacheSize
+	}
+	return c.CacheSize
+}
+
+func (c Config) batchWindow() time.Duration {
+	switch {
+	case c.BatchWindowUS < 0:
+		return 0
+	case c.BatchWindowUS == 0:
+		return DefaultBatchWindow
+	}
+	return time.Duration(c.BatchWindowUS) * time.Microsecond
+}
+
+func (c Config) batchMax() int {
+	if c.BatchMax <= 0 {
+		return DefaultBatchMax
+	}
+	return c.BatchMax
+}
+
+// DrainTimeout returns the graceful-shutdown deadline.
+func (c Config) DrainTimeout() time.Duration {
+	if c.DrainTimeoutMS <= 0 {
+		return DefaultDrainTimeout
+	}
+	return time.Duration(c.DrainTimeoutMS) * time.Millisecond
+}
+
+// LoadConfig parses a daemon config file.
+func LoadConfig(path string) (Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Config{}, err
+	}
+	var c Config
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return Config{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return c, nil
+}
+
+// resolve loads the spec's program and reference table and compiles the
+// serving matcher. It is the slow path — callers run it outside any lock
+// so serving continues while a replacement compiles.
+func (s ProgramSpec) resolve(opt core.Options) (*compiledProgram, error) {
+	if s.Name == "" {
+		return nil, errors.New("serve: program spec needs a name")
+	}
+	progData := []byte(s.Program)
+	if len(progData) == 0 {
+		if s.ProgramPath == "" {
+			return nil, fmt.Errorf("serve: program %q: need program or program_path", s.Name)
+		}
+		var err error
+		if progData, err = os.ReadFile(s.ProgramPath); err != nil {
+			return nil, err
+		}
+	}
+	prog, err := core.DecodeProgram(progData)
+	if err != nil {
+		return nil, fmt.Errorf("serve: program %q: %w", s.Name, err)
+	}
+	var left dataset.Table
+	if s.LeftCSV != "" {
+		if left, err = dataset.ReadCSV(strings.NewReader(s.LeftCSV)); err != nil {
+			return nil, fmt.Errorf("serve: program %q reference: %w", s.Name, err)
+		}
+	} else {
+		if s.LeftPath == "" {
+			return nil, fmt.Errorf("serve: program %q: need left_csv or left_path", s.Name)
+		}
+		if left, err = ReadCSVFile(s.LeftPath); err != nil {
+			return nil, err
+		}
+	}
+	matcher, leftVals, err := CompileProgram(prog, left, s.Column, opt)
+	if err != nil {
+		return nil, fmt.Errorf("serve: program %q: %w", s.Name, err)
+	}
+	return &compiledProgram{
+		name:     s.Name,
+		matcher:  matcher,
+		leftVals: leftVals,
+		column:   s.Column,
+	}, nil
+}

@@ -1,0 +1,328 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/core"
+)
+
+// testProgramJSON is a fixed single-column program (no learning run):
+// edit-distance within 0.4 after lowercasing, plus an equal-weight
+// Jaccard configuration.
+const testProgramJSON = `{
+  "version": 1,
+  "configurations": [
+    {"preprocess": "L", "distance": "ED", "threshold": 0.4},
+    {"preprocess": "L", "tokenization": "SP", "token_weights": "EW", "distance": "JD", "threshold": 0.5}
+  ],
+  "blocking_beta": 1
+}`
+
+func testLeftCSV(names []string) string {
+	out := "name\n"
+	for _, n := range names {
+		out += n + "\n"
+	}
+	return out
+}
+
+var testNames = []string{
+	"alpha research institute",
+	"bravo analytics bureau",
+	"carol standards council",
+	"delta history museum",
+	"echo science laboratory",
+}
+
+func testSpec(name string) ProgramSpec {
+	return ProgramSpec{
+		Name:    name,
+		Program: json.RawMessage(testProgramJSON),
+		LeftCSV: testLeftCSV(testNames),
+	}
+}
+
+func newTestRegistry(t *testing.T, cfg Config) *Registry {
+	t.Helper()
+	reg := NewRegistry(cfg, NewMetrics(time.Now()))
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := reg.Close(ctx); err != nil {
+			t.Errorf("registry close: %v", err)
+		}
+	})
+	return reg
+}
+
+func TestRegistryQueryMatchesAndCaches(t *testing.T) {
+	reg := newTestRegistry(t, Config{})
+	if err := reg.Register(testSpec("orgs")); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	res, err := reg.Query(ctx, "orgs", []string{"alpha reserch institute"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK || res.Match.Left != 0 || res.LeftValue != testNames[0] {
+		t.Fatalf("query result: %+v", res)
+	}
+	if res.Cached {
+		t.Fatal("first query reported cached")
+	}
+	again, err := reg.Query(ctx, "orgs", []string{"alpha reserch institute"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached {
+		t.Fatal("repeat query missed the cache")
+	}
+	if again.Match != res.Match || again.LeftValue != res.LeftValue {
+		t.Fatalf("cache hit differs from miss: %+v vs %+v", again, res)
+	}
+
+	miss, err := reg.Query(ctx, "orgs", []string{"zzz completely unrelated zzz"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if miss.OK || miss.Match.Left != -1 || miss.Match.Config != -1 {
+		t.Fatalf("unrelated query matched: %+v", miss)
+	}
+
+	if _, err := reg.Query(ctx, "nope", []string{"x"}); err != ErrUnknownProgram {
+		t.Fatalf("unknown program error = %v", err)
+	}
+	var arity *ArityError
+	if _, err := reg.Query(ctx, "orgs", []string{"a", "b"}); !asArity(err, &arity) || arity.Want != 1 {
+		t.Fatalf("arity error = %v", err)
+	}
+}
+
+func asArity(err error, target **ArityError) bool {
+	a, ok := err.(*ArityError)
+	if ok {
+		*target = a
+	}
+	return ok
+}
+
+// TestRegistryBitIdenticalToMatcher is the serving-tier equivalence
+// contract: every answer (batched, coalesced, or cached) must be the
+// exact Match that a direct Matcher.Match call produces.
+func TestRegistryBitIdenticalToMatcher(t *testing.T) {
+	spec := testSpec("orgs")
+	cp, err := spec.resolve(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := newTestRegistry(t, Config{})
+	if err := reg.Register(spec); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	queries := make([]string, 60)
+	for i := range queries {
+		base := testNames[rng.Intn(len(testNames))]
+		switch i % 3 {
+		case 0:
+			queries[i] = base
+		case 1:
+			queries[i] = base[:len(base)-2] // truncated
+		default:
+			queries[i] = base + " extra"
+		}
+	}
+	ctx := context.Background()
+	for pass := 0; pass < 2; pass++ { // second pass exercises the cache
+		for _, q := range queries {
+			want, wantOK, err := cp.matcher.Match(ctx, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := reg.Query(ctx, "orgs", []string{q})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Match != want || got.OK != wantOK {
+				t.Fatalf("pass %d query %q: served %+v, Matcher.Match %+v", pass, q, got.Match, want)
+			}
+		}
+	}
+	// Batch endpoint: same contract.
+	rows := make([][]string, len(queries))
+	for i, q := range queries {
+		rows[i] = []string{q}
+	}
+	batch, err := reg.QueryBatch(ctx, "orgs", rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range queries {
+		want, _, _ := cp.matcher.Match(ctx, q)
+		if batch[i].Match != want {
+			t.Fatalf("batch query %q: %+v != %+v", q, batch[i].Match, want)
+		}
+	}
+}
+
+// TestRegistryHotSwap: re-registering a name swaps atomically — the new
+// reference table answers, and no stale cache entry survives.
+func TestRegistryHotSwap(t *testing.T) {
+	reg := newTestRegistry(t, Config{})
+	if err := reg.Register(testSpec("orgs")); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	before, err := reg.Query(ctx, "orgs", []string{"alpha reserch institute"})
+	if err != nil || !before.OK {
+		t.Fatalf("pre-swap query: %+v, %v", before, err)
+	}
+
+	// Swap in a different reference table: the old best match is gone and
+	// a new record exists.
+	swapped := testSpec("orgs")
+	swapped.LeftCSV = testLeftCSV([]string{
+		"foxtrot data cooperative",
+		"golf metrics union",
+	})
+	if err := reg.Register(swapped); err != nil {
+		t.Fatal(err)
+	}
+	infos := reg.Programs()
+	if len(infos) != 1 || infos[0].Generation != 1 || infos[0].Records != 2 {
+		t.Fatalf("post-swap info: %+v", infos)
+	}
+	after, err := reg.Query(ctx, "orgs", []string{"alpha reserch institute"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.OK {
+		t.Fatalf("swapped-out record still answers (stale cache?): %+v", after)
+	}
+	hit, err := reg.Query(ctx, "orgs", []string{"foxtrot data cooperativ"})
+	if err != nil || !hit.OK || hit.LeftValue != "foxtrot data cooperative" {
+		t.Fatalf("new reference not served: %+v, %v", hit, err)
+	}
+
+	if !reg.Remove("orgs") {
+		t.Fatal("remove failed")
+	}
+	if _, err := reg.Query(ctx, "orgs", []string{"x"}); err != ErrUnknownProgram {
+		t.Fatalf("removed program error = %v", err)
+	}
+}
+
+// TestRegistryClose: after Close, queries and registrations fail fast
+// with ErrShuttingDown, and Close is idempotent.
+func TestRegistryClose(t *testing.T) {
+	reg := NewRegistry(Config{}, NewMetrics(time.Now()))
+	if err := reg.Register(testSpec("orgs")); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := reg.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Close(ctx); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if _, err := reg.Query(context.Background(), "orgs", []string{"x"}); err != ErrShuttingDown {
+		t.Fatalf("post-close query error = %v", err)
+	}
+	if err := reg.Register(testSpec("other")); err != ErrShuttingDown {
+		t.Fatalf("post-close register error = %v", err)
+	}
+}
+
+// TestBatcherCoalesces: requests queued before the collector wakes are
+// dispatched as one MatchBatch, not one call each.
+func TestBatcherCoalesces(t *testing.T) {
+	cp, err := testSpec("orgs").resolve(core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	met := NewMetrics(time.Now())
+	bat := newBatcher(time.Millisecond, 64)
+	reqs := make([]*batchRequest, 10)
+	for i := range reqs {
+		reqs[i] = &batchRequest{
+			row:  []string{testNames[i%len(testNames)]},
+			done: make(chan batchResult, 1),
+		}
+		bat.ch <- reqs[i]
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go bat.run(stop, func() *compiledProgram { return cp }, met, &wg)
+	for i, req := range reqs {
+		res := <-req.done
+		if res.err != nil {
+			t.Fatalf("request %d: %v", i, res.err)
+		}
+		if !res.ok || res.m.Left != i%len(testNames) {
+			t.Fatalf("request %d answered %+v", i, res.m)
+		}
+	}
+	if got := met.batches.Load(); got != 1 {
+		t.Errorf("10 queued requests dispatched as %d batches, want 1", got)
+	}
+	if got := met.batchQueries.Load(); got != 10 {
+		t.Errorf("batchQueries = %d, want 10", got)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}
+	if c.cacheSize() != DefaultCacheSize || c.batchMax() != DefaultBatchMax ||
+		c.batchWindow() != DefaultBatchWindow || c.ListenAddr() != DefaultListen ||
+		c.DrainTimeout() != DefaultDrainTimeout {
+		t.Error("defaults not applied")
+	}
+	c = Config{CacheSize: -1, BatchWindowUS: -1, BatchMax: 3, Listen: ":0", DrainTimeoutMS: 100}
+	if c.cacheSize() != 0 || c.batchWindow() != 0 || c.batchMax() != 3 ||
+		c.ListenAddr() != ":0" || c.DrainTimeout() != 100*time.Millisecond {
+		t.Error("overrides not applied")
+	}
+}
+
+func TestLoadConfig(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "autofjd.json")
+	if err := os.WriteFile(path, []byte(`{
+		"listen": ":9090",
+		"programs": [{"name": "orgs", "program_path": "p.json", "left_path": "l.csv"}],
+		"batch_window_us": 250
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := LoadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Listen != ":9090" || len(cfg.Programs) != 1 || cfg.Programs[0].Name != "orgs" ||
+		cfg.batchWindow() != 250*time.Microsecond {
+		t.Fatalf("parsed config: %+v", cfg)
+	}
+
+	// Unknown fields are a config-file typo, not silently ignored.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"listn": ":9090"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadConfig(bad); err == nil {
+		t.Error("unknown config field accepted")
+	}
+}
