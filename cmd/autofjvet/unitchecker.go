@@ -1,0 +1,156 @@
+package main
+
+// The unitchecker protocol: when cmd/go runs `go vet -vettool=X pkgs`,
+// it execs X once per package with a single argument, the path to a
+// JSON *.cfg file describing the compilation unit — file list, import
+// map, and the export-data files of every dependency. The tool
+// typechecks from those, runs its analyzers, writes the (possibly
+// empty) facts file cmd/go asked for, and reports diagnostics on
+// stderr with a nonzero exit. Dependency packages arrive with
+// VetxOnly=true and want only the facts file, no analysis.
+//
+// This file is a stdlib-only reimplementation of that contract (the
+// reference lives in golang.org/x/tools/go/analysis/unitchecker, which
+// this module deliberately does not depend on). Facts are not used by
+// any autofjvet analyzer — every rule is package-local — so the vetx
+// files written here are empty placeholders.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/analysis"
+)
+
+// vetConfig mirrors the JSON emitted by cmd/go for each vetted unit.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func runUnitchecker(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "autofjvet:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "autofjvet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// Dependencies only want their facts file; no autofjvet analyzer
+	// exports facts, so satisfy cmd/go with an empty one and stop.
+	if cfg.VetxOnly {
+		if err := writeVetx(cfg.VetxOutput); err != nil {
+			fmt.Fprintln(os.Stderr, "autofjvet:", err)
+			return 1
+		}
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		files = append(files, f)
+	}
+
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		if importPath == "unsafe" {
+			return types.Unsafe, nil
+		}
+		if mapped, ok := cfg.ImportMap[importPath]; ok {
+			importPath = mapped
+		}
+		return compilerImporter.Import(importPath)
+	})
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	tc := types.Config{
+		Importer:  imp,
+		Sizes:     analysis.AnalyzerSizes,
+		GoVersion: cfg.GoVersion,
+	}
+	tpkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+
+	pkg := &analysis.Package{PkgPath: cfg.ImportPath, Dir: cfg.Dir, Files: files, Types: tpkg, Info: info}
+	diags, err := analysis.RunAnalyzers(fset, []*analysis.Package{pkg}, analysis.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "autofjvet:", err)
+		return 1
+	}
+	if err := writeVetx(cfg.VetxOutput); err != nil {
+		fmt.Fprintln(os.Stderr, "autofjvet:", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func writeVetx(path string) error {
+	if path == "" {
+		return nil
+	}
+	return os.WriteFile(path, nil, 0o666)
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

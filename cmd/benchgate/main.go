@@ -1,0 +1,132 @@
+// Command benchgate turns `go test -bench -benchmem` output into a CI
+// gate: every benchmark named in the budget file must appear in the
+// input and stay within its allocs/op budget. The static hotpath
+// analyzer (cmd/autofjvet) catches allocation-inducing constructs at
+// the AST level; benchgate is the dynamic complement that catches what
+// escapes analysis — compiler escape decisions, stdlib internals,
+// growth that never amortizes.
+//
+// Usage:
+//
+//	go test -run '^$' -bench ... -benchmem ./... | tee bench.out
+//	go run ./cmd/benchgate -budgets bench_budgets.json bench.out
+//
+// With no file argument the bench output is read from stdin. Exits 1
+// when a budgeted benchmark is missing or over budget.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// A budget bounds one benchmark's steady-state allocation rate.
+type budget struct {
+	AllocsOp int64 `json:"allocs_op"`
+}
+
+// benchLine matches one -benchmem result line; sub-benchmarks keep
+// their slash name and the GOMAXPROCS suffix ("-8") is stripped so
+// budgets are machine-independent.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+
+func main() {
+	budgetsPath := flag.String("budgets", "bench_budgets.json", "JSON file mapping benchmark name to {\"allocs_op\": N}")
+	flag.Parse()
+
+	budgets := map[string]budget{}
+	data, err := os.ReadFile(*budgetsPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	if err := json.Unmarshal(data, &budgets); err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: parsing %s: %v\n", *budgetsPath, err)
+		os.Exit(2)
+	}
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() == 1 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		in = f
+	} else if flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchgate [-budgets file.json] [bench-output-file]")
+		os.Exit(2)
+	}
+
+	measured := map[string]int64{}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		name, allocs, ok := parseLine(sc.Text())
+		if !ok {
+			continue
+		}
+		// A benchmark can appear more than once (-count); gate on the
+		// worst observation.
+		if prev, seen := measured[name]; !seen || allocs > prev {
+			measured[name] = allocs
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(budgets))
+	for name := range budgets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	failed := false
+	for _, name := range names {
+		b := budgets[name]
+		got, ok := measured[name]
+		switch {
+		case !ok:
+			fmt.Printf("MISSING  %-40s budget %d allocs/op, benchmark not in input\n", name, b.AllocsOp)
+			failed = true
+		case got > b.AllocsOp:
+			fmt.Printf("OVER     %-40s %d allocs/op > budget %d\n", name, got, b.AllocsOp)
+			failed = true
+		default:
+			fmt.Printf("ok       %-40s %d allocs/op (budget %d)\n", name, got, b.AllocsOp)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// parseLine extracts the benchmark name and allocs/op from one output
+// line; ok is false for non-benchmark lines and runs without -benchmem.
+func parseLine(line string) (name string, allocs int64, ok bool) {
+	m := benchLine.FindStringSubmatch(line)
+	if m == nil {
+		return "", 0, false
+	}
+	fields := strings.Fields(m[2])
+	for i, f := range fields {
+		if f == "allocs/op" && i > 0 {
+			n, err := strconv.ParseInt(fields[i-1], 10, 64)
+			if err != nil {
+				return "", 0, false
+			}
+			return m[1], n, true
+		}
+	}
+	return "", 0, false
+}

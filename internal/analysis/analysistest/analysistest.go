@@ -1,0 +1,165 @@
+// Package analysistest runs one analyzer over a fixture directory and
+// checks its diagnostics against `// want "regex"` comments, mirroring
+// the conventions of golang.org/x/tools' package of the same name on
+// the stdlib-only framework of internal/analysis.
+//
+// A fixture line that should trigger a diagnostic carries a trailing
+// comment `// want "pattern"` (several quoted patterns for several
+// diagnostics on one line). The test fails if a wanted pattern does not
+// match any diagnostic on its line, and if any diagnostic fires on a
+// line with no matching want — so every fixture simultaneously proves
+// the analyzer fires where it must and stays quiet where it must not.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/analysis"
+)
+
+// wantRE extracts the quoted patterns of a want comment.
+var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type want struct {
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run typechecks the fixture directory dir as package pkgPath and
+// applies the analyzer, comparing diagnostics against want comments.
+// pkgPath matters: scoped analyzers (detrange, fieldalign) only fire
+// when it contains their target package fragments.
+func Run(t *testing.T, dir, pkgPath string, a *analysis.Analyzer) {
+	t.Helper()
+	run(t, dir, pkgPath, a, true)
+}
+
+// RunNoDiagnostics asserts the analyzer stays fully silent on the
+// fixture — want comments are ignored. Use it to prove package scoping:
+// the same violating fixture, loaded under an out-of-scope import path,
+// must produce nothing.
+func RunNoDiagnostics(t *testing.T, dir, pkgPath string, a *analysis.Analyzer) {
+	t.Helper()
+	run(t, dir, pkgPath, a, false)
+}
+
+func run(t *testing.T, dir, pkgPath string, a *analysis.Analyzer, checkWants bool) {
+	t.Helper()
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, "source", nil),
+		Sizes:    analysis.AnalyzerSizes,
+	}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("typechecking fixture: %v", err)
+	}
+	pkg := &analysis.Package{PkgPath: pkgPath, Dir: dir, Files: files, Types: tpkg, Info: info}
+	diags, err := analysis.RunAnalyzers(fset, []*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	if !checkWants {
+		for _, d := range diags {
+			t.Errorf("%s: unexpected diagnostic under out-of-scope path %s: %s", fset.Position(d.Pos), pkgPath, d.Message)
+		}
+		return
+	}
+
+	wants := collectWants(t, fset, files)
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+		ws := wants[key]
+		ok := false
+		for _, w := range ws {
+			if !w.matched && w.pattern.MatchString(d.Message) {
+				w.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s: unexpected diagnostic: %s", key, d.Message)
+		}
+	}
+	var keys []string
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.matched {
+				t.Errorf("%s: no diagnostic matched want %q", k, w.pattern)
+			}
+		}
+	}
+}
+
+// collectWants scans every fixture comment for `// want "p1" "p2" ...`.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[string][]*want {
+	t.Helper()
+	wants := map[string][]*want{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				// Both `// want "p"` and a want embedded after another
+				// comment's payload (`//autofj:bad x // want "p"`).
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				text := c.Text[idx+len("// want "):]
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", filepath.Base(pos.Filename), pos.Line)
+				for _, m := range wantRE.FindAllStringSubmatch(text, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", key, m[1], err)
+					}
+					wants[key] = append(wants[key], &want{pattern: re})
+				}
+			}
+		}
+	}
+	return wants
+}

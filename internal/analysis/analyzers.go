@@ -1,0 +1,19 @@
+package analysis
+
+// All returns every autofjvet analyzer, in the order diagnostics should
+// be grouped when positions tie. The set is the repo's invariant
+// contract: determinism (detrange), steady-state allocation discipline
+// (hotpath), pool hygiene (poolsafe), hot-swap safety (atomicswap),
+// cancellation flow (ctxflow), memory layout (fieldalign), and the
+// annotation grammar that keeps all the escapes honest (directives).
+func All() []*Analyzer {
+	return []*Analyzer{
+		Directives,
+		DetRange,
+		HotPath,
+		PoolSafe,
+		AtomicSwap,
+		CtxFlow,
+		FieldAlign,
+	}
+}

@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The autofjvet annotation grammar. Annotations are ordinary comments of
+// the form `//autofj:<verb> <reason>`:
+//
+//	//autofj:hotpath
+//	    On a function's doc comment: opt the function into the hotpath
+//	    analyzer's allocation checks (no reason required — the function
+//	    name is the reason).
+//	//autofj:nondet-ok <reason>
+//	    On (or directly above) a map-range statement: the iteration
+//	    order deliberately does not affect results.
+//	//autofj:ctx-ok <reason>
+//	    On (or directly above) a context.Background()/TODO() call in
+//	    library code: minting a fresh context here is deliberate.
+//	//autofj:alloc-ok <reason>
+//	    On (or directly above) a statement inside a hotpath function:
+//	    this allocation is accepted (e.g. a cold error path).
+//	//autofj:keep <reason>
+//	    On a pooled struct field: the field intentionally survives
+//	    sync.Pool.Put (a persistent scratch buffer, not per-call data).
+//	//autofj:layout-ok <reason>
+//	    On a struct type declaration: field order is deliberate (wire
+//	    format, doc grouping) and outweighs padding savings.
+//
+// Every verb except hotpath requires a reason; the directives analyzer
+// enforces that and rejects unknown verbs, so a typo can never silently
+// disable a check.
+
+const directivePrefix = "autofj:"
+
+var directiveVerbs = map[string]bool{
+	"hotpath":   true,
+	"nondet-ok": true,
+	"ctx-ok":    true,
+	"alloc-ok":  true,
+	"keep":      true,
+	"layout-ok": true,
+}
+
+// verbsNeedingReason lists the verbs that must carry a justification.
+var verbsNeedingReason = []string{"nondet-ok", "ctx-ok", "alloc-ok", "keep", "layout-ok"}
+
+// A directive is one parsed //autofj: annotation.
+type directive struct {
+	Verb   string
+	Reason string
+	Pos    token.Pos
+}
+
+// parseDirective parses one comment; ok is false for non-autofj comments.
+func parseDirective(c *ast.Comment) (directive, bool) {
+	text, found := strings.CutPrefix(c.Text, "//"+directivePrefix)
+	if !found {
+		return directive{}, false
+	}
+	verb, reason, _ := strings.Cut(text, " ")
+	// An embedded comment (e.g. a fixture's `// want` marker) is not
+	// part of the reason.
+	if i := strings.Index(reason, "//"); i >= 0 {
+		reason = reason[:i]
+	}
+	return directive{Verb: verb, Reason: strings.TrimSpace(reason), Pos: c.Pos()}, true
+}
+
+// annIndex indexes a package's directives by file and line.
+type annIndex struct {
+	byLine map[string]map[int]directive // filename -> line -> directive
+	all    []directive
+}
+
+func (p *Pass) annotations() *annIndex {
+	if p.ann != nil {
+		return p.ann
+	}
+	idx := &annIndex{byLine: map[string]map[int]directive{}}
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d, ok := parseDirective(c)
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				lines := idx.byLine[pos.Filename]
+				if lines == nil {
+					lines = map[int]directive{}
+					idx.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = d
+				idx.all = append(idx.all, d)
+			}
+		}
+	}
+	p.ann = idx
+	return idx
+}
+
+// directiveAt returns the directive with the given verb attached to pos:
+// a trailing comment on the same line or a comment on the line directly
+// above.
+func (p *Pass) directiveAt(pos token.Pos, verb string) (directive, bool) {
+	idx := p.annotations()
+	position := p.Fset.Position(pos)
+	lines := idx.byLine[position.Filename]
+	if lines == nil {
+		return directive{}, false
+	}
+	for _, line := range [2]int{position.Line, position.Line - 1} {
+		if d, ok := lines[line]; ok && d.Verb == verb {
+			return d, true
+		}
+	}
+	return directive{}, false
+}
+
+// docHasDirective reports whether a doc comment group carries the verb.
+func docHasDirective(doc *ast.CommentGroup, verb string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if d, ok := parseDirective(c); ok && d.Verb == verb {
+			return true
+		}
+	}
+	return false
+}
+
+// Directives validates the annotation grammar itself: unknown verbs and
+// missing reasons are errors, so a misspelled annotation fails the build
+// instead of silently disabling a check.
+var Directives = &Analyzer{
+	Name: "directives",
+	Doc:  "check that //autofj: annotations use known verbs and carry reasons",
+	Run: func(pass *Pass) error {
+		needReason := map[string]bool{}
+		for _, v := range verbsNeedingReason {
+			needReason[v] = true
+		}
+		for _, d := range pass.annotations().all {
+			switch {
+			case !directiveVerbs[d.Verb]:
+				pass.Reportf(d.Pos, "unknown autofjvet annotation //autofj:%s (known verbs: hotpath, nondet-ok, ctx-ok, alloc-ok, keep, layout-ok)", d.Verb)
+			case needReason[d.Verb] && d.Reason == "":
+				pass.Reportf(d.Pos, "//autofj:%s needs a reason: //autofj:%s <why this exception is sound>", d.Verb, d.Verb)
+			}
+		}
+		return nil
+	},
+}

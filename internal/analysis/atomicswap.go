@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicSwap guards the hot-swap concurrency protocol: values of
+// sync/atomic's typed atomics (atomic.Pointer[T], atomic.Value,
+// atomic.Bool, ...) must only be touched through their method set
+// (Load/Store/Swap/CompareAndSwap) on the original memory location.
+// Copying a struct that embeds one — by assignment, by-value parameter,
+// range value, or return — silently forks the atomic: readers of the
+// copy stop observing swaps on the original, which is exactly how a
+// hot-swapped serving program would keep serving a stale compiled plan.
+//
+// (go vet's copylocks catches some of these because the typed atomics
+// embed noCopy, but only through the Locker interface heuristics; this
+// analyzer states the repo's rule directly and also covers atomic.Value.)
+var AtomicSwap = &Analyzer{
+	Name: "atomicswap",
+	Doc:  "flag by-value copies of structs containing sync/atomic typed atomics",
+	Run:  runAtomicSwap,
+}
+
+func runAtomicSwap(pass *Pass) error {
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					if i < len(n.Lhs) && isBlankIdent(n.Lhs[i]) {
+						continue
+					}
+					checkAtomicCopy(pass, rhs, "assignment copies")
+				}
+			case *ast.CallExpr:
+				// Conversions and builtins don't copy semantically
+				// (and append/copy of []T are covered by element use).
+				if _, isConv := pass.TypesInfo.Types[n.Fun]; isConv && !isCallToFunc(pass, n) {
+					return true
+				}
+				for _, arg := range n.Args {
+					checkAtomicCopy(pass, arg, "passing by value copies")
+				}
+			case *ast.ReturnStmt:
+				for _, r := range n.Results {
+					checkAtomicCopy(pass, r, "returning by value copies")
+				}
+			case *ast.RangeStmt:
+				if n.Value != nil && !isBlankIdent(n.Value) {
+					// A `:=` range value is a definition: its type lives
+					// in Defs, not Types.
+					var t types.Type
+					if id, ok := n.Value.(*ast.Ident); ok {
+						if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+							t = obj.Type()
+						}
+					} else if tv, ok := pass.TypesInfo.Types[n.Value]; ok {
+						t = tv.Type
+					}
+					if t != nil {
+						if name := atomicInside(t); name != "" {
+							pass.Reportf(n.Value.Pos(), "range value copies a struct containing %s; iterate by index or over pointers", name)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkAtomicCopy reports when evaluating e yields a by-value copy of a
+// type containing a typed atomic. Taking the address, dereferencing into
+// a method call, and composite construction of a fresh value are fine —
+// only moves of an existing value are flagged.
+func checkAtomicCopy(pass *Pass, e ast.Expr, what string) {
+	switch e.(type) {
+	case *ast.UnaryExpr, *ast.CompositeLit, *ast.CallExpr, *ast.FuncLit, *ast.BasicLit:
+		// &x is a pointer; T{...} constructs a fresh value in place;
+		// f(...) results are moves of fresh values the callee returned.
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.IsNil() {
+		return
+	}
+	if name := atomicInside(tv.Type); name != "" {
+		pass.Reportf(e.Pos(), "%s a struct containing %s; readers of the copy stop observing swaps — use a pointer", what, name)
+	}
+}
+
+// atomicInside returns the name of a sync/atomic typed-atomic reachable
+// by value inside t ("" if none). Pointers, slices, maps break the
+// by-value chain.
+func atomicInside(t types.Type) string {
+	return atomicInsideSeen(t, map[types.Type]bool{})
+}
+
+func atomicInsideSeen(t types.Type, seen map[types.Type]bool) string {
+	t = types.Unalias(t)
+	if seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if n := namedType(t); n != nil {
+		obj := n.Obj()
+		if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic" {
+			switch obj.Name() {
+			case "Value", "Bool", "Int32", "Int64", "Uint32", "Uint64", "Uintptr", "Pointer":
+				return "atomic." + obj.Name()
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if name := atomicInsideSeen(u.Field(i).Type(), seen); name != "" {
+				return name
+			}
+		}
+	case *types.Array:
+		return atomicInsideSeen(u.Elem(), seen)
+	}
+	return ""
+}
+
+func isBlankIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// isCallToFunc distinguishes real calls from type conversions.
+func isCallToFunc(pass *Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return false
+	}
+	if tv.IsType() {
+		return false
+	}
+	return true
+}

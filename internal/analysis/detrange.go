@@ -1,0 +1,86 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// resultPackages scopes detrange: the packages whose output reaches join
+// results or the serving wire format, where map-iteration order would be
+// user-visible nondeterminism. (The engine's headline guarantee is
+// bit-identical output at any parallelism; a single unsorted map range on
+// a result path silently breaks it.)
+var resultPackages = []string{
+	"internal/core",
+	"internal/blocking",
+	"internal/config",
+	"internal/serve",
+}
+
+// DetRange flags `for range` over a map in result-producing packages.
+// A range is exempt when the enclosing function later calls into sort
+// (the "collect then sort" idiom — iteration order cannot survive the
+// sort), or when annotated //autofj:nondet-ok <reason>.
+var DetRange = &Analyzer{
+	Name: "detrange",
+	Doc:  "flag map iteration in result-producing packages unless sorted or annotated",
+	Run:  runDetRange,
+}
+
+func runDetRange(pass *Pass) error {
+	if !pass.pathContains(resultPackages...) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		inspectStack(file, func(n ast.Node, stack []ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := types.Unalias(tv.Type).Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if _, ok := pass.directiveAt(rng.Pos(), "nondet-ok"); ok {
+				return true
+			}
+			if fn := enclosingFunc(stack); fn != nil && callsSortAfter(pass, fn, rng) {
+				return true
+			}
+			pass.Reportf(rng.Pos(), "map iteration order is nondeterministic and this package produces results; sort what the loop feeds or annotate //autofj:nondet-ok <reason>")
+			return true
+		})
+	}
+	return nil
+}
+
+// callsSortAfter reports whether fn contains a call to a sorting function
+// (package sort, or slices.Sort*) positioned at or after the range
+// statement — the collect-into-slice-then-sort idiom that launders map
+// order back into a deterministic result.
+func callsSortAfter(pass *Pass, fn ast.Node, rng *ast.RangeStmt) bool {
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.Pos() {
+			return true
+		}
+		if pkg, name, ok := pkgFuncCall(pass.TypesInfo, call); ok {
+			if pkg == "sort" || (pkg == "slices" && (name == "Sort" || name == "SortFunc" || name == "SortStableFunc")) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerSizes fixes the size model for every pass to gc/amd64 so that
+// diagnostics (and the fieldalign analyzer's byte counts) are identical
+// on every machine that runs the tool. The serving fleet is amd64; on
+// other platforms the numbers are advisory but still deterministic.
+var AnalyzerSizes = types.SizesFor("gc", "amd64")
+
+// hotStructPackages scopes fieldalign to the packages whose structs sit
+// on the query path in bulk: candidate/result rows in core and blocking,
+// and the per-program serving state in serve. A few bytes of padding per
+// element is real memory and cache traffic when millions of candidates
+// flow through a batch.
+var hotStructPackages = []string{
+	"internal/core",
+	"internal/blocking",
+	"internal/serve",
+}
+
+// FieldAlign reports struct types whose declared field order wastes
+// padding bytes versus an alignment-optimal order, in hot packages.
+// Structs whose order is load-bearing (JSON wire format, doc grouping)
+// are annotated //autofj:layout-ok <reason> on the type declaration.
+var FieldAlign = &Analyzer{
+	Name: "fieldalign",
+	Doc:  "report hot-package structs whose field order wastes padding versus an optimal order",
+	Run:  runFieldAlign,
+}
+
+func runFieldAlign(pass *Pass) error {
+	if !pass.pathContains(hotStructPackages...) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if _, ok := ts.Type.(*ast.StructType); !ok {
+					continue
+				}
+				if docHasDirective(gd.Doc, "layout-ok") || docHasDirective(ts.Doc, "layout-ok") || docHasDirective(ts.Comment, "layout-ok") {
+					continue
+				}
+				obj, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+				if !ok {
+					continue
+				}
+				st, ok := obj.Type().Underlying().(*types.Struct)
+				if !ok || st.NumFields() < 2 {
+					continue
+				}
+				cur := structSize(pass.TypesSizes, fieldTypes(st))
+				best := structSize(pass.TypesSizes, optimalOrder(pass.TypesSizes, st))
+				if best < cur {
+					pass.Reportf(ts.Name.Pos(), "struct %s is %d bytes but an alignment-optimal field order is %d bytes (%d wasted on padding); reorder or annotate //autofj:layout-ok <reason>", ts.Name.Name, cur, best, cur-best)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func fieldTypes(st *types.Struct) []types.Type {
+	out := make([]types.Type, st.NumFields())
+	for i := range out {
+		out[i] = st.Field(i).Type()
+	}
+	return out
+}
+
+// optimalOrder returns the field types sorted for minimal padding:
+// descending alignment, then descending size (a stable greedy that is
+// optimal for the power-of-two alignments the gc layout uses). Zero-size
+// fields sort last but before nothing — Go pads a trailing zero-size
+// field, so keeping one off the tail when possible also helps.
+func optimalOrder(sizes types.Sizes, st *types.Struct) []types.Type {
+	fields := fieldTypes(st)
+	// insertion sort: n is tiny and this avoids importing sort here
+	for i := 1; i < len(fields); i++ {
+		for j := i; j > 0; j-- {
+			aj, sj := sizes.Alignof(fields[j]), sizes.Sizeof(fields[j])
+			ap, sp := sizes.Alignof(fields[j-1]), sizes.Sizeof(fields[j-1])
+			if aj > ap || (aj == ap && sj > sp) {
+				fields[j], fields[j-1] = fields[j-1], fields[j]
+			} else {
+				break
+			}
+		}
+	}
+	return fields
+}
+
+// structSize lays the field types out in order under the gc rules:
+// each field at the next offset aligned to its alignment, total size
+// rounded up to the struct's max alignment.
+func structSize(sizes types.Sizes, fields []types.Type) int64 {
+	var off, maxAlign int64 = 0, 1
+	for _, f := range fields {
+		a := sizes.Alignof(f)
+		if a > maxAlign {
+			maxAlign = a
+		}
+		off = align(off, a)
+		off += sizes.Sizeof(f)
+	}
+	return align(off, maxAlign)
+}
+
+func align(x, a int64) int64 {
+	return (x + a - 1) &^ (a - 1)
+}

@@ -1,0 +1,299 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// HotPath checks functions annotated //autofj:hotpath (the Match steady
+// state, blocking scratch loops, fused distance kernels) for
+// allocation-inducing constructs. The steady-state query path is
+// designed to be allocation-free after warmup — this analyzer keeps
+// regressions from creeping in between -benchmem runs.
+//
+// Flagged inside a hotpath function:
+//   - map/slice composite literals and &T{} (heap allocation per call)
+//   - make() calls, unless guarded by a cap()/len() growth check
+//     (the amortized warm-up idiom: if cap(buf) < n { buf = make(...) })
+//   - append whose result is not assigned back over its own first
+//     argument (fresh-slice growth instead of scratch reuse)
+//   - function literals (closure allocation) and go statements
+//   - fmt.*, log.*, errors.New calls (allocate and often box)
+//   - string(...) conversions from byte/rune slices, except directly
+//     indexing a map (the compiler elides that copy)
+//   - string concatenation with +
+//   - interface boxing: passing a non-pointer-shaped value to an
+//     interface-typed parameter
+//
+// Individual statements escape with //autofj:alloc-ok <reason> (e.g. a
+// cold error path inside an otherwise hot function).
+var HotPath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "check //autofj:hotpath functions for allocation-inducing constructs",
+	Run:  runHotPath,
+}
+
+func runHotPath(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !docHasDirective(fd.Doc, "hotpath") {
+				continue
+			}
+			checkHotFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
+	report := func(pos token.Pos, format string, args ...any) {
+		if _, ok := pass.directiveAt(pos, "alloc-ok"); ok {
+			return
+		}
+		pass.Reportf(pos, format, args...)
+	}
+	inspectStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			t := types.Unalias(pass.TypesInfo.TypeOf(n)).Underlying()
+			switch t.(type) {
+			case *types.Map, *types.Slice:
+				report(n.Pos(), "%s literal allocates in hotpath function %s", typeKind(t), fd.Name.Name)
+			default:
+				if len(stack) > 0 {
+					if u, ok := stack[len(stack)-1].(*ast.UnaryExpr); ok && u.Op.String() == "&" {
+						report(n.Pos(), "&composite literal escapes to the heap in hotpath function %s", fd.Name.Name)
+					}
+				}
+			}
+		case *ast.FuncLit:
+			report(n.Pos(), "closure allocates in hotpath function %s", fd.Name.Name)
+			return false
+		case *ast.GoStmt:
+			report(n.Pos(), "goroutine spawn in hotpath function %s", fd.Name.Name)
+		case *ast.BinaryExpr:
+			if n.Op.String() == "+" {
+				if t, ok := pass.TypesInfo.Types[n.X]; ok {
+					if b, ok := types.Unalias(t.Type).Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						report(n.Pos(), "string concatenation allocates in hotpath function %s", fd.Name.Name)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, fd, n, stack, report)
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, stack []ast.Node, report func(token.Pos, string, ...any)) {
+	// Builtins and conversions.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		switch id.Name {
+		case "make":
+			if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "make" && !growthGuarded(pass, stack) {
+				report(call.Pos(), "unguarded make allocates per call in hotpath function %s (guard with a cap/len check for amortized warm-up growth)", fd.Name.Name)
+			}
+		case "append":
+			if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "append" && !selfAppend(call, stack) {
+				report(call.Pos(), "append result is not reassigned over its first argument; fresh-slice growth allocates in hotpath function %s", fd.Name.Name)
+			}
+		case "new":
+			if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "new" {
+				report(call.Pos(), "new() allocates in hotpath function %s", fd.Name.Name)
+			}
+		case "string":
+			// conversion via the predeclared type name
+			if checkStringConv(pass, call, stack) {
+				report(call.Pos(), "string conversion copies in hotpath function %s (only map-index position is elided by the compiler)", fd.Name.Name)
+			}
+		}
+		return
+	}
+	if pkg, name, ok := pkgFuncCall(pass.TypesInfo, call); ok {
+		switch {
+		case pkg == "fmt":
+			report(call.Pos(), "fmt.%s allocates and boxes its arguments in hotpath function %s", name, fd.Name.Name)
+			return
+		case pkg == "log":
+			report(call.Pos(), "log.%s allocates in hotpath function %s", name, fd.Name.Name)
+			return
+		case pkg == "errors" && name == "New":
+			report(call.Pos(), "errors.New allocates in hotpath function %s (hoist to a package-level var)", fd.Name.Name)
+			return
+		case pkg == "strings" && allocatingStringsFuncs[name]:
+			report(call.Pos(), "strings.%s returns freshly allocated memory per call in hotpath function %s (split/transform into a reused scratch buffer instead)", name, fd.Name.Name)
+			return
+		}
+	}
+	checkBoxing(pass, fd, call, report)
+}
+
+// allocatingStringsFuncs are the strings helpers that return freshly
+// allocated slices or strings on every call. (Substring helpers like
+// Trim*, Cut and Index* share the input's backing memory and are fine.)
+var allocatingStringsFuncs = map[string]bool{
+	"Fields": true, "FieldsFunc": true, "FieldsSeq": true,
+	"Split": true, "SplitN": true, "SplitAfter": true, "SplitAfterN": true,
+	"Join": true, "Repeat": true, "Clone": true,
+	"ToLower": true, "ToUpper": true, "ToTitle": true,
+	"Map": true, "Replace": true, "ReplaceAll": true,
+}
+
+// growthGuarded reports whether the surrounding statements include an if
+// whose condition mentions cap() or len() — the amortized warm-up idiom
+// where make only runs when scratch must grow.
+func growthGuarded(pass *Pass, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		ifStmt, ok := stack[i].(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		guarded := false
+		ast.Inspect(ifStmt.Cond, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && (id.Name == "cap" || id.Name == "len") {
+					if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && (b.Name() == "cap" || b.Name() == "len") {
+						guarded = true
+						return false
+					}
+				}
+			}
+			return true
+		})
+		if guarded {
+			return true
+		}
+	}
+	return false
+}
+
+// selfAppend reports whether the append call feeds its result back over
+// its own first argument's base — `x = append(x, ...)` or
+// `x = append(x[:0], ...)` — the scratch-reuse pattern whose allocations
+// amortize to zero.
+func selfAppend(call *ast.CallExpr, stack []ast.Node) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	base := exprBase(call.Args[0])
+	if base == "" {
+		return false
+	}
+	// Find the assignment this call is the RHS of.
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch s := stack[i].(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				if exprBase(lhs) == base {
+					return true
+				}
+			}
+			return false
+		case *ast.CallExpr, *ast.ExprStmt, *ast.BlockStmt:
+			return false
+		}
+	}
+	return false
+}
+
+// exprBase renders the root expression of x with index/slice operations
+// stripped: ms.ids[:0] -> "ms.ids", ids -> "ids".
+func exprBase(x ast.Expr) string {
+	switch x := x.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		if b := exprBase(x.X); b != "" {
+			return b + "." + x.Sel.Name
+		}
+	case *ast.SliceExpr:
+		return exprBase(x.X)
+	case *ast.IndexExpr:
+		return exprBase(x.X)
+	case *ast.ParenExpr:
+		return exprBase(x.X)
+	}
+	return ""
+}
+
+// checkStringConv reports whether a string(...) conversion from a
+// byte/rune slice allocates here (i.e. is not in map-index position).
+func checkStringConv(pass *Pass, call *ast.CallExpr, stack []ast.Node) bool {
+	if len(call.Args) != 1 {
+		return false
+	}
+	at, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok {
+		return false
+	}
+	if _, isSlice := types.Unalias(at.Type).Underlying().(*types.Slice); !isSlice {
+		return false
+	}
+	// m[string(b)] is elided by the compiler.
+	if len(stack) > 0 {
+		if ix, ok := stack[len(stack)-1].(*ast.IndexExpr); ok && ix.Index == call {
+			if t, ok := pass.TypesInfo.Types[ix.X]; ok {
+				if _, isMap := types.Unalias(t.Type).Underlying().(*types.Map); isMap {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// checkBoxing flags non-pointer-shaped values passed to interface-typed
+// parameters: the conversion allocates to materialize the value behind
+// the interface. Pointer, map, chan, func and nil arguments are stored
+// directly and stay allocation-free.
+func checkBoxing(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, report func(token.Pos, string, ...any)) {
+	sig, ok := types.Unalias(pass.TypesInfo.TypeOf(call.Fun)).Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		pi := i
+		if sig.Variadic() && pi >= params.Len()-1 {
+			pi = params.Len() - 1
+		}
+		if pi >= params.Len() {
+			break
+		}
+		pt := types.Unalias(params.At(pi).Type())
+		if sig.Variadic() && pi == params.Len()-1 && !call.Ellipsis.IsValid() {
+			if sl, ok := pt.Underlying().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at, ok := pass.TypesInfo.Types[arg]
+		if !ok || at.IsNil() {
+			continue
+		}
+		argT := types.Unalias(at.Type)
+		if _, already := argT.Underlying().(*types.Interface); already {
+			continue
+		}
+		switch argT.Underlying().(type) {
+		case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+			continue
+		}
+		report(arg.Pos(), "passing %s to interface parameter boxes (allocates) in hotpath function %s", argT.String(), fd.Name.Name)
+	}
+}
+
+func typeKind(t types.Type) string {
+	switch t.(type) {
+	case *types.Map:
+		return "map"
+	case *types.Slice:
+		return "slice"
+	}
+	return "composite"
+}

@@ -1,0 +1,310 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PoolSafe enforces sync.Pool hygiene: every Pool.Put site must reset
+// the reference-holding fields of the pooled type before the value goes
+// back to the pool, so a pooled scratch can never pin arbitrary query
+// memory in a long-lived server (the exact bug class PR 4 hand-fixed:
+// a matchScratch whose qwords kept references to the largest query ever
+// seen).
+//
+// A field needs a reset when its type can transitively reach a string,
+// pointer, interface, map, chan or func — anything that keeps foreign
+// memory alive. Slices of pointer-free element types (e.g. []float64,
+// []int32, []byte) are scratch capacity, which is the point of pooling,
+// and never need clearing. A reset is an assignment of nil/zero to the
+// field or a clear() over it — note `x.f = x.f[:0]` is NOT a reset (the
+// backing array still holds the references; clear to capacity instead).
+// Fields that deliberately survive Put (persistent sub-scratch) are
+// annotated //autofj:keep <reason> on the field declaration.
+//
+// Pooled types are resolved from the static type of the Put argument,
+// falling back to the package's Pool.New inventory when the argument is
+// interface-typed.
+var PoolSafe = &Analyzer{
+	Name: "poolsafe",
+	Doc:  "check that sync.Pool.Put sites reset reference-holding fields of the pooled type",
+	Run:  runPoolSafe,
+}
+
+func runPoolSafe(pass *Pass) error {
+	newTypes := poolNewTypes(pass)
+	for _, file := range pass.Files {
+		inspectStack(file, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Put" || len(call.Args) != 1 {
+				return true
+			}
+			recv, ok := pass.TypesInfo.Types[sel.X]
+			if !ok || !isSyncPool(recv.Type) {
+				return true
+			}
+			pooled := pooledStruct(pass, call.Args[0], newTypes)
+			if pooled == nil {
+				return true
+			}
+			checkPutSite(pass, call, stack, pooled)
+			return true
+		})
+	}
+	return nil
+}
+
+func isSyncPool(t types.Type) bool {
+	if p, ok := types.Unalias(t).Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	return isPkgType(t, "sync", "Pool")
+}
+
+// pooledStruct resolves the struct type going back into the pool: the
+// static type of the Put argument if it is *T or T for a named struct T,
+// else the single type the package's Pool.New closures produce.
+func pooledStruct(pass *Pass, arg ast.Expr, newTypes []*types.Named) *types.Named {
+	if tv, ok := pass.TypesInfo.Types[arg]; ok {
+		if n := derefNamedStruct(tv.Type); n != nil {
+			return n
+		}
+	}
+	if len(newTypes) == 1 {
+		return newTypes[0]
+	}
+	return nil
+}
+
+func derefNamedStruct(t types.Type) *types.Named {
+	t = types.Unalias(t)
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n := namedType(t)
+	if n == nil {
+		return nil
+	}
+	if _, ok := n.Underlying().(*types.Struct); !ok {
+		return nil
+	}
+	return n
+}
+
+// poolNewTypes inventories the concrete types produced by Pool.New
+// closures in this package (assignments or composite-literal fields
+// named New on a sync.Pool).
+func poolNewTypes(pass *Pass) []*types.Named {
+	var out []*types.Named
+	add := func(fl *ast.FuncLit) {
+		ast.Inspect(fl.Body, func(n ast.Node) bool {
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok || len(ret.Results) != 1 {
+				return true
+			}
+			if tv, ok := pass.TypesInfo.Types[ret.Results[0]]; ok {
+				if named := derefNamedStruct(tv.Type); named != nil {
+					out = append(out, named)
+				}
+			}
+			return true
+		})
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					sel, ok := lhs.(*ast.SelectorExpr)
+					if !ok || sel.Sel.Name != "New" || i >= len(n.Rhs) {
+						continue
+					}
+					if tv, ok := pass.TypesInfo.Types[sel.X]; ok && isSyncPool(tv.Type) {
+						if fl, ok := n.Rhs[i].(*ast.FuncLit); ok {
+							add(fl)
+						}
+					}
+				}
+			case *ast.CompositeLit:
+				if tv, ok := pass.TypesInfo.Types[n]; ok && isSyncPool(tv.Type) {
+					for _, elt := range n.Elts {
+						kv, ok := elt.(*ast.KeyValueExpr)
+						if !ok {
+							continue
+						}
+						if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "New" {
+							if fl, ok := kv.Value.(*ast.FuncLit); ok {
+								add(fl)
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkPutSite verifies that, in the function containing the Put call,
+// every reference-holding field of the pooled type is reset before the
+// Put. Fields annotated //autofj:keep are exempt.
+func checkPutSite(pass *Pass, put *ast.CallExpr, stack []ast.Node, pooled *types.Named) {
+	st, _ := pooled.Underlying().(*types.Struct)
+	if st == nil {
+		return
+	}
+	decl := structDecl(pass, pooled)
+	fn := enclosingFunc(stack)
+	if fn == nil {
+		return
+	}
+	argBase := exprBase(put.Args[0])
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !holdsRefs(f.Type(), map[types.Type]bool{}) {
+			continue
+		}
+		if decl != nil && fieldHasKeep(decl, f.Name()) {
+			continue
+		}
+		reset, sliced := fieldResetBefore(pass, fn, put, argBase, f.Name())
+		if reset {
+			continue
+		}
+		if sliced {
+			pass.Reportf(put.Pos(), "pooled %s.%s is only resliced ([:0]) before Put; the backing array still pins its references — clear(%s.%s[:cap(%s.%s)]) or assign nil", pooled.Obj().Name(), f.Name(), argBase, f.Name(), argBase, f.Name())
+			continue
+		}
+		pass.Reportf(put.Pos(), "pooled %s.%s holds references but is not reset before Pool.Put; clear it, assign nil, or annotate the field //autofj:keep <reason>", pooled.Obj().Name(), f.Name())
+	}
+}
+
+// structDecl finds the AST declaration of the named struct in this
+// package's files (nil when declared elsewhere).
+func structDecl(pass *Pass, n *types.Named) *ast.StructType {
+	obj := n.Obj()
+	if obj == nil {
+		return nil
+	}
+	for _, file := range pass.Files {
+		var found *ast.StructType
+		ast.Inspect(file, func(node ast.Node) bool {
+			ts, ok := node.(*ast.TypeSpec)
+			if !ok || found != nil {
+				return found == nil
+			}
+			if pass.TypesInfo.Defs[ts.Name] == obj {
+				if st, ok := ts.Type.(*ast.StructType); ok {
+					found = st
+				}
+				return false
+			}
+			return true
+		})
+		if found != nil {
+			return found
+		}
+	}
+	return nil
+}
+
+// fieldHasKeep reports whether the named field carries //autofj:keep in
+// its doc or line comment.
+func fieldHasKeep(st *ast.StructType, name string) bool {
+	for _, f := range st.Fields.List {
+		for _, id := range f.Names {
+			if id.Name == name {
+				return docHasDirective(f.Doc, "keep") || docHasDirective(f.Comment, "keep")
+			}
+		}
+	}
+	return false
+}
+
+// fieldResetBefore scans fn's statements positioned before the Put call
+// for a reset of <argBase>.<field>: clear(x.f) / clear(x.f[...]) or an
+// assignment x.f = nil (or a zero composite). It also detects the
+// near-miss x.f = x.f[:0], reported separately.
+func fieldResetBefore(pass *Pass, fn ast.Node, put *ast.CallExpr, argBase, field string) (reset, slicedOnly bool) {
+	want := argBase + "." + field
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if n == nil || n.Pos() >= put.Pos() {
+			return n != nil && n.Pos() < put.Pos() || n == fn
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "clear" && len(n.Args) == 1 {
+				if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "clear" {
+					if exprBase(n.Args[0]) == want {
+						reset = true
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if exprBase(lhs) != want || i >= len(n.Rhs) {
+					continue
+				}
+				rhs := n.Rhs[i]
+				if isZeroExpr(pass, rhs) {
+					reset = true
+				} else if sl, ok := rhs.(*ast.SliceExpr); ok && exprBase(sl.X) == want {
+					slicedOnly = true
+				}
+			}
+		}
+		return true
+	})
+	if reset {
+		slicedOnly = false
+	}
+	return reset, slicedOnly
+}
+
+// isZeroExpr reports whether e releases the field's old references when
+// assigned: nil, an empty composite literal, or any constant (constants
+// live in static memory, so the assignment pins nothing).
+func isZeroExpr(pass *Pass, e ast.Expr) bool {
+	if tv, ok := pass.TypesInfo.Types[e]; ok && (tv.IsNil() || tv.Value != nil) {
+		return true
+	}
+	if cl, ok := e.(*ast.CompositeLit); ok && len(cl.Elts) == 0 {
+		return true
+	}
+	if id, ok := e.(*ast.Ident); ok && id.Name == "nil" {
+		return true
+	}
+	return false
+}
+
+// holdsRefs reports whether t can transitively reach a string, pointer,
+// interface, map, chan or func — memory a pooled value would pin.
+func holdsRefs(t types.Type, seen map[types.Type]bool) bool {
+	t = types.Unalias(t)
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Info()&types.IsString != 0
+	case *types.Pointer, *types.Interface, *types.Map, *types.Chan, *types.Signature:
+		return true
+	case *types.Slice:
+		return holdsRefs(u.Elem(), seen)
+	case *types.Array:
+		return holdsRefs(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if holdsRefs(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,50 @@
+// Fixture for the atomicswap analyzer: structs containing typed
+// atomics must never be copied by value.
+package atomicswap
+
+import "sync/atomic"
+
+type prog struct {
+	cur atomic.Pointer[int]
+	n   int
+}
+
+func badDeref(p *prog) {
+	v := *p // want "assignment copies a struct containing atomic.Pointer"
+	use(&v)
+}
+
+func badReturn(p *prog) prog {
+	return *p // want "returning by value copies a struct containing atomic.Pointer"
+}
+
+func badArg(p *prog) {
+	takeByValue(*p) // want "passing by value copies a struct containing atomic.Pointer"
+}
+
+func badRange(ps []prog) {
+	for _, p := range ps { // want "range value copies a struct containing atomic.Pointer"
+		use(&p)
+	}
+}
+
+func goodPointer(p *prog) *int {
+	takeByPointer(p)
+	return p.cur.Load()
+}
+
+func goodIndexRange(ps []prog) {
+	for i := range ps {
+		takeByPointer(&ps[i])
+	}
+}
+
+func goodFresh() *prog {
+	p := &prog{n: 1}
+	p.cur.Store(new(int))
+	return p
+}
+
+func takeByValue(prog)    {}
+func takeByPointer(*prog) {}
+func use(*prog)           {}

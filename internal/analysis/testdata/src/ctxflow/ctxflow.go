@@ -1,0 +1,30 @@
+// Fixture for the ctxflow analyzer: contexts flow down, are not
+// re-minted, and are not silently dropped.
+package ctxflow
+
+import "context"
+
+func remint(ctx context.Context, f func(context.Context)) {
+	f(context.Background()) // want "remint receives a ctx but mints"
+}
+
+func mint() context.Context {
+	return context.Background() // want "library function mint mints"
+}
+
+func detached() context.Context {
+	//autofj:ctx-ok deliberate detachment exercised by the fixture
+	return context.Background()
+}
+
+func Dropped(ctx context.Context, n int) int { // want "exported Dropped takes ctx but never uses it"
+	return n + 1
+}
+
+func Used(ctx context.Context) error {
+	return ctx.Err()
+}
+
+func Delegates(ctx context.Context, f func(context.Context)) {
+	f(ctx)
+}

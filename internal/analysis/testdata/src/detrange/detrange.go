@@ -1,0 +1,39 @@
+// Fixture for the detrange analyzer: map ranges in a result-producing
+// package must feed a sort or carry //autofj:nondet-ok.
+package detrange
+
+import "sort"
+
+func bad(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "map iteration order is nondeterministic"
+		out = append(out, k)
+	}
+	return out
+}
+
+func goodSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func goodAnnotated(m map[string]int) int {
+	n := 0
+	//autofj:nondet-ok summation is order-independent
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func goodSliceRange(xs []int) int {
+	n := 0
+	for _, v := range xs {
+		n += v
+	}
+	return n
+}

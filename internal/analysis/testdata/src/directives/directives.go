@@ -1,0 +1,14 @@
+// Fixture for the directives analyzer: the annotation grammar itself.
+package directives
+
+//autofj:frobnicate because reasons // want "unknown autofjvet annotation"
+func a() {}
+
+//autofj:nondet-ok // want "needs a reason"
+func b() {}
+
+//autofj:hotpath
+func c() {}
+
+//autofj:keep this field outlives the pool on purpose
+func d() {}

@@ -1,0 +1,26 @@
+// Fixture for the fieldalign analyzer: hot-package structs must not
+// waste padding versus an alignment-optimal field order.
+package fieldalign
+
+type bad struct { // want "struct bad is 24 bytes but an alignment-optimal field order is 16 bytes"
+	a bool
+	b float64
+	c bool
+}
+
+type good struct {
+	b float64
+	a bool
+	c bool
+}
+
+//autofj:layout-ok field order mirrors the wire format this fixture pretends to have
+type wire struct {
+	a bool
+	b float64
+	c bool
+}
+
+type tiny struct {
+	a bool
+}

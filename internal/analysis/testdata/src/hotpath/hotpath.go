@@ -1,0 +1,64 @@
+// Fixture for the hotpath analyzer: allocation-inducing constructs in
+// //autofj:hotpath functions.
+package hotpath
+
+import (
+	"fmt"
+	"strings"
+)
+
+//autofj:hotpath
+func bad(xs []int, s string) string {
+	m := map[int]bool{} // want "map literal allocates"
+	_ = m
+	fmt.Println(xs)            // want "fmt.Println allocates"
+	parts := strings.Fields(s) // want "strings.Fields returns freshly allocated"
+	_ = parts
+	out := ""
+	out = out + s  // want "string concatenation allocates"
+	go func() {}() // want "goroutine spawn" "closure allocates"
+	return out
+}
+
+//autofj:hotpath
+func badAppend(dst, src []int) []int {
+	fresh := append(src, 1) // want "append result is not reassigned"
+	_ = fresh
+	dst = append(dst, 2) // self-append: quiet
+	return dst
+}
+
+//autofj:hotpath
+func badMake(n int) []float64 {
+	return make([]float64, n) // want "unguarded make allocates"
+}
+
+//autofj:hotpath
+func goodGuardedMake(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		buf = make([]float64, n)
+	}
+	return buf[:n]
+}
+
+//autofj:hotpath
+func goodMapIndexConv(m map[string]int, b []byte) int {
+	return m[string(b)] // compiler elides this copy: quiet
+}
+
+//autofj:hotpath
+func badStringConv(b []byte) string {
+	return string(b) // want "string conversion copies"
+}
+
+//autofj:hotpath
+func goodEscape(cold bool) error {
+	if cold {
+		//autofj:alloc-ok cold error path, taken at most once per process
+		return fmt.Errorf("cold path")
+	}
+	return nil
+}
+
+// unannotated functions are never checked.
+func quiet() map[int]bool { return map[int]bool{} }

@@ -1,0 +1,33 @@
+// Fixture for the poolsafe analyzer: Pool.Put must be preceded by a
+// reset of every reference-holding field of the pooled type.
+package poolsafe
+
+import "sync"
+
+type scratch struct {
+	ids  []int32 // pointer-free capacity: never needs a reset
+	refs []*int
+	name string
+	//autofj:keep persistent sub-scratch shared across calls
+	sub *scratch
+}
+
+var pool = sync.Pool{New: func() any { return new(scratch) }}
+
+func badPut(s *scratch) {
+	s.refs = s.refs[:0]
+	pool.Put(s) // want "refs is only resliced" "name holds references"
+}
+
+func goodPut(s *scratch) {
+	clear(s.refs[:cap(s.refs)])
+	s.refs = s.refs[:0]
+	s.name = ""
+	pool.Put(s)
+}
+
+func goodNilPut(s *scratch) {
+	s.refs = nil
+	s.name = ""
+	pool.Put(s)
+}

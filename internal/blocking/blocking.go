@@ -164,6 +164,8 @@ func (ix *Index) NewScratch() *Scratch {
 // nextGen advances the generation stamp, invalidating all dense entries in
 // O(1). On the (astronomically rare) wraparound the stamp arrays are
 // cleared so stale generations can never alias.
+//
+//autofj:hotpath
 func (sc *Scratch) nextGen() uint32 {
 	sc.gen++
 	if sc.gen == 0 {
@@ -178,6 +180,8 @@ func (sc *Scratch) nextGen() uint32 {
 // into sc.qids. Grams absent from the index carry zero weight and empty
 // postings, so they are skipped outright. Allocation-free after warmup:
 // the map lookup on a byte-slice conversion does not escape.
+//
+//autofj:hotpath
 func (ix *Index) queryGramIDs(sc *Scratch, query string) []int32 {
 	sc.qids = sc.qids[:0]
 	sc.buf = append(sc.buf[:0], '#', '#')
@@ -222,6 +226,8 @@ func (ix *Index) queryGramIDs(sc *Scratch, query string) []int32 {
 
 // candWorse reports whether a ranks strictly worse than b in the
 // (score descending, id ascending) candidate order.
+//
+//autofj:hotpath
 func candWorse(a, b Candidate) bool {
 	if a.Score != b.Score {
 		return a.Score < b.Score
@@ -231,6 +237,8 @@ func candWorse(a, b Candidate) bool {
 
 // heapUp/heapDown maintain a min-heap whose root is the worst candidate
 // currently kept.
+//
+//autofj:hotpath
 func heapUp(h []Candidate, i int) {
 	for i > 0 {
 		p := (i - 1) / 2
@@ -242,6 +250,7 @@ func heapUp(h []Candidate, i int) {
 	}
 }
 
+//autofj:hotpath
 func heapDown(h []Candidate, i int) {
 	for {
 		l := 2*i + 1
@@ -264,6 +273,8 @@ func heapDown(h []Candidate, i int) {
 // dst (score descending, id ascending). The accumulation order — gram ids
 // ascending, postings ascending — is fixed, so results are bit-identical
 // regardless of worker count.
+//
+//autofj:hotpath
 func (ix *Index) appendTopK(dst []Candidate, sc *Scratch, qids []int32, k, exclude int) []Candidate {
 	if k <= 0 || ix.n == 0 || len(qids) == 0 {
 		return dst
@@ -305,6 +316,8 @@ func (ix *Index) appendTopK(dst []Candidate, sc *Scratch, qids []int32, k, exclu
 }
 
 // cmpCandidate orders candidates score descending, id ascending.
+//
+//autofj:hotpath
 func cmpCandidate(a, b Candidate) int {
 	switch {
 	case a.Score > b.Score:
@@ -321,12 +334,16 @@ func cmpCandidate(a, b Candidate) int {
 
 // AppendTopK appends up to k candidates for query to dst, reusing sc.
 // Allocation-free after warmup when dst has capacity.
+//
+//autofj:hotpath
 func (ix *Index) AppendTopK(dst []Candidate, sc *Scratch, query string, k, exclude int) []Candidate {
 	return ix.appendTopK(dst, sc, ix.queryGramIDs(sc, query), k, exclude)
 }
 
 // AppendTopKSelf appends the L–L candidates for left record i to dst,
 // excluding i itself, reusing sc.
+//
+//autofj:hotpath
 func (ix *Index) AppendTopKSelf(dst []Candidate, sc *Scratch, i, k int) []Candidate {
 	return ix.appendTopK(dst, sc, ix.docGrams[i], k, i)
 }

@@ -138,6 +138,8 @@ func (e *Evaluator) NewScratch() *EvalScratch { return &EvalScratch{} }
 // the compiled space between the reference-side profile l and the
 // query-side profile r. out must have NumFunctions() entries. The values
 // are bit-identical to calling space[fi].Distance(l, r) per function.
+//
+//autofj:hotpath
 func (e *Evaluator) Distances(l, r *Profile, sc *EvalScratch, out []float64) {
 	for gi := range e.char {
 		g := &e.char[gi]

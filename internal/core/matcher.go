@@ -102,6 +102,7 @@ type matcherCol struct {
 
 // matchScratch is the reusable per-call state of the query path.
 type matchScratch struct {
+	//autofj:keep persistent blocking sub-scratch; holds only capacity and generation stamps, never query data
 	sc        *blocking.Scratch
 	cands     []blocking.Candidate
 	ballCands []blocking.Candidate
@@ -109,11 +110,12 @@ type matchScratch struct {
 	qprof     []*config.Profile
 	qcells    []string
 	qwords    []string
-	esc       *config.EvalScratch
-	drow      []float64 // per-configuration distances of one candidate
-	crow      []float64 // per-column raw distances (multi-column only)
-	bestD     []float64 // per-configuration closest distance
-	bestL     []int32   // per-configuration closest candidate
+	//autofj:keep persistent distance-kernel sub-scratch; rows are overwritten per pair and hold no references
+	esc   *config.EvalScratch
+	drow  []float64 // per-configuration distances of one candidate
+	crow  []float64 // per-column raw distances (multi-column only)
+	bestD []float64 // per-configuration closest distance
+	bestL []int32   // per-configuration closest candidate
 }
 
 var errNeedRow = errors.New("core: matcher was compiled from a multi-column program; use MatchRow or MatchRows")
@@ -268,6 +270,8 @@ func (m *Matcher) getScratch() *matchScratch { return m.pool.Get().(*matchScratc
 // in a long-lived server. qwords is cleared to capacity — AppendWordSet
 // reslices it from zero, so entries beyond the current length still hold
 // strings from earlier (longer) queries.
+//
+//autofj:hotpath
 func (m *Matcher) putScratch(ms *matchScratch) {
 	clear(ms.qprof)
 	clear(ms.qcells)
@@ -281,6 +285,8 @@ func (m *Matcher) putScratch(ms *matchScratch) {
 // configuration. Multi-column distances reproduce the learned tensor
 // semantics: per-column float32 rounding and maximal distance for two
 // missing cells.
+//
+//autofj:hotpath
 func (m *Matcher) pairDists(ms *matchScratch, l int32) {
 	if !m.multi {
 		m.eval.Distances(m.cols[0].profL[l], ms.qprof[0], ms.esc, ms.drow)
@@ -308,6 +314,8 @@ func (m *Matcher) pairDists(ms *matchScratch, l int32) {
 // ball-construction distance). This stays on the one-function
 // compatibility path: ball counts are computed once per (configuration,
 // record) and cached, so there is no shared work to fuse.
+//
+//autofj:hotpath
 func (m *Matcher) leftDist(ci int, a, b int32) float64 {
 	f := m.configs[ci].Function
 	if !m.multi {
@@ -330,6 +338,8 @@ func (m *Matcher) leftDist(ci int, a, b int32) float64 {
 // denominator of the Eq. 9 precision estimate. Counts are computed on
 // first use and cached atomically; the value is deterministic, so
 // concurrent fills store the same result.
+//
+//autofj:hotpath
 func (m *Matcher) ballCount(ci int, l int32, ms *matchScratch) uint32 {
 	slot := &m.balls[ci*m.nL+int(l)]
 	if v := slot.Load(); v != 0 {
@@ -353,6 +363,8 @@ func (m *Matcher) ballCount(ci int, l int32, ms *matchScratch) uint32 {
 // matchOne runs the full query path for one record: blocking, negative-
 // rule vetoes, per-configuration closest-candidate scans, and the
 // learning-faithful union resolution.
+//
+//autofj:hotpath
 func (m *Matcher) matchOne(ms *matchScratch, key string, row []string) (Match, bool) {
 	if len(m.configs) == 0 || m.nL == 0 {
 		return noMatch(), false

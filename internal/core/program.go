@@ -181,6 +181,14 @@ func parseDistance(s string) (config.Distance, error) {
 // matcher every time. For programs learned by the multi-column search use
 // ApplyMultiColumn.
 func (p *Program) Apply(left, right []string) ([]Join, error) {
+	//autofj:ctx-ok convenience edge of the public API; ApplyContext is the cancellable path
+	return p.ApplyContext(context.Background(), left, right)
+}
+
+// ApplyContext is Apply with caller-controlled cancellation: ctx bounds
+// the batch matching, so a deadline or cancel aborts a large join
+// mid-flight instead of running it to completion.
+func (p *Program) ApplyContext(ctx context.Context, left, right []string) ([]Join, error) {
 	if len(p.Columns) > 0 {
 		return nil, errors.New("core: program was learned on multiple columns (non-empty Columns); Apply would silently drop the column selection and weights — use ApplyMultiColumn")
 	}
@@ -188,7 +196,7 @@ func (p *Program) Apply(left, right []string) ([]Join, error) {
 	if err != nil {
 		return nil, err
 	}
-	matches, err := m.MatchBatch(context.Background(), right)
+	matches, err := m.MatchBatch(ctx, right)
 	if err != nil {
 		return nil, err
 	}
@@ -202,6 +210,13 @@ func (p *Program) Apply(left, right []string) ([]Join, error) {
 // CompileMultiColumn + MatchRows when the same reference table serves more
 // than one call.
 func (p *Program) ApplyMultiColumn(leftCols, rightCols [][]string) ([]Join, error) {
+	//autofj:ctx-ok convenience edge of the public API; ApplyMultiColumnContext is the cancellable path
+	return p.ApplyMultiColumnContext(context.Background(), leftCols, rightCols)
+}
+
+// ApplyMultiColumnContext is ApplyMultiColumn with caller-controlled
+// cancellation; ctx bounds the row matching.
+func (p *Program) ApplyMultiColumnContext(ctx context.Context, leftCols, rightCols [][]string) ([]Join, error) {
 	if len(p.Columns) == 0 || len(p.Columns) != len(p.Weights) {
 		return nil, errors.New("core: program has no multi-column weights; use Apply")
 	}
@@ -231,7 +246,7 @@ func (p *Program) ApplyMultiColumn(leftCols, rightCols [][]string) ([]Join, erro
 		}
 		rows[i] = row
 	}
-	matches, err := m.MatchRows(context.Background(), rows)
+	matches, err := m.MatchRows(ctx, rows)
 	if err != nil {
 		return nil, err
 	}

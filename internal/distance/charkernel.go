@@ -1,6 +1,6 @@
 package distance
 
-import "strings"
+import "unicode"
 
 // This file holds the fused character-family kernel. The char-based
 // distances (ED, JW and the extension distances ME, SW) all start from
@@ -24,9 +24,38 @@ type CharScratch struct {
 	dpA, dpB       []int  // DP rows for Levenshtein and Smith-Waterman
 	matchA, matchB []bool // Jaro match tables
 	ta, tb         []rune // token rune views for Monge-Elkan's inner Jaro
+	// fa, fb hold Monge-Elkan's token substrings only within one
+	// Distances call; mongeElkan clears them before returning so a
+	// long-lived scratch never pins query memory.
+	fa, fb []string
+}
+
+// appendFields appends the whitespace-separated fields of s to dst.
+// Each field is a substring sharing s's backing memory — the
+// allocation-free strings.Fields of the kernel.
+//
+//autofj:hotpath
+func appendFields(dst []string, s string) []string {
+	start := -1
+	for i, r := range s {
+		if unicode.IsSpace(r) {
+			if start >= 0 {
+				dst = append(dst, s[start:i])
+				start = -1
+			}
+		} else if start < 0 {
+			start = i
+		}
+	}
+	if start >= 0 {
+		dst = append(dst, s[start:])
+	}
+	return dst
 }
 
 // appendRunes is the allocation-free []rune(s) of the kernel.
+//
+//autofj:hotpath
 func appendRunes(buf []rune, s string) []rune {
 	for _, r := range s {
 		buf = append(buf, r)
@@ -35,6 +64,8 @@ func appendRunes(buf []rune, s string) []rune {
 }
 
 // intRow returns buf grown to n entries, all zero.
+//
+//autofj:hotpath
 func intRow(buf []int, n int) []int {
 	if cap(buf) < n {
 		buf = make([]int, n)
@@ -47,6 +78,8 @@ func intRow(buf []int, n int) []int {
 }
 
 // boolRow returns buf grown to n entries, all false.
+//
+//autofj:hotpath
 func boolRow(buf []bool, n int) []bool {
 	if cap(buf) < n {
 		buf = make([]bool, n)
@@ -60,6 +93,8 @@ func boolRow(buf []bool, n int) []bool {
 
 // Distances evaluates the requested character-family distances of one
 // pair, converting each string to runes exactly once.
+//
+//autofj:hotpath
 func (cs *CharScratch) Distances(a, b string, need CharNeed) CharDists {
 	cs.ra = appendRunes(cs.ra[:0], a)
 	cs.rb = appendRunes(cs.rb[:0], b)
@@ -80,6 +115,8 @@ func (cs *CharScratch) Distances(a, b string, need CharNeed) CharDists {
 }
 
 // editDistance is EditDistance over pre-converted runes.
+//
+//autofj:hotpath
 func (cs *CharScratch) editDistance(ra, rb []rune) float64 {
 	la, lb := len(ra), len(rb)
 	if la == 0 && lb == 0 {
@@ -93,6 +130,8 @@ func (cs *CharScratch) editDistance(ra, rb []rune) float64 {
 }
 
 // levenshtein is Levenshtein over pre-converted runes with scratch rows.
+//
+//autofj:hotpath
 func (cs *CharScratch) levenshtein(ra, rb []rune) int {
 	if len(ra) < len(rb) {
 		ra, rb = rb, ra
@@ -129,6 +168,8 @@ func (cs *CharScratch) levenshtein(ra, rb []rune) int {
 }
 
 // jaro is Jaro over pre-converted runes with scratch match tables.
+//
+//autofj:hotpath
 func (cs *CharScratch) jaro(ra, rb []rune) float64 {
 	la, lb := len(ra), len(rb)
 	if la == 0 && lb == 0 {
@@ -191,6 +232,8 @@ func (cs *CharScratch) jaro(ra, rb []rune) float64 {
 }
 
 // jaroWinkler is JaroWinkler over pre-converted runes.
+//
+//autofj:hotpath
 func (cs *CharScratch) jaroWinkler(ra, rb []rune) float64 {
 	j := cs.jaro(ra, rb)
 	prefix := 0
@@ -201,20 +244,31 @@ func (cs *CharScratch) jaroWinkler(ra, rb []rune) float64 {
 }
 
 // mongeElkan is MongeElkan with the inner Jaro-Winkler running on
-// scratch buffers. Token splitting still allocates (strings.Fields), but
-// the quadratic inner comparisons are allocation-free.
+// scratch buffers. Token splitting reuses the fa/fb scratch — fully
+// allocation-free after warmup, like the quadratic inner comparisons.
+// The token substrings share the inputs' memory, so both slices are
+// cleared before returning: a retained scratch must never pin a query.
+//
+//autofj:hotpath
 func (cs *CharScratch) mongeElkan(a, b string) float64 {
-	ta := strings.Fields(a)
-	tb := strings.Fields(b)
-	if len(ta) == 0 && len(tb) == 0 {
-		return 0
+	cs.fa = appendFields(cs.fa[:0], a)
+	cs.fb = appendFields(cs.fb[:0], b)
+	var d float64
+	switch {
+	case len(cs.fa) == 0 && len(cs.fb) == 0:
+		d = 0
+	case len(cs.fa) == 0 || len(cs.fb) == 0:
+		d = 1
+	default:
+		d = 1 - (cs.mongeElkanDir(cs.fa, cs.fb)+cs.mongeElkanDir(cs.fb, cs.fa))/2
 	}
-	if len(ta) == 0 || len(tb) == 0 {
-		return 1
-	}
-	return 1 - (cs.mongeElkanDir(ta, tb)+cs.mongeElkanDir(tb, ta))/2
+	clear(cs.fa[:cap(cs.fa)])
+	clear(cs.fb[:cap(cs.fb)])
+	cs.fa, cs.fb = cs.fa[:0], cs.fb[:0]
+	return d
 }
 
+//autofj:hotpath
 func (cs *CharScratch) mongeElkanDir(from, to []string) float64 {
 	var sum float64
 	for _, a := range from {
@@ -233,6 +287,8 @@ func (cs *CharScratch) mongeElkanDir(from, to []string) float64 {
 
 // smithWaterman is SmithWaterman over pre-converted runes with scratch
 // DP rows.
+//
+//autofj:hotpath
 func (cs *CharScratch) smithWaterman(ra, rb []rune) float64 {
 	if len(ra) == 0 && len(rb) == 0 {
 		return 0

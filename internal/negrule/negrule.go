@@ -11,7 +11,7 @@ package negrule
 
 import (
 	"sort"
-	"strings"
+	"unicode"
 
 	"github.com/chu-data-lab/autofuzzyjoin-go/internal/parallel"
 	"github.com/chu-data-lab/autofuzzyjoin-go/internal/textproc"
@@ -133,8 +133,10 @@ func (s *Set) Blocks(l, r string) bool {
 // Algorithm-2 pre-processing to dst and returns it — the pure,
 // scratch-friendly form of the per-record computation Set caches. dst
 // should be empty (typically a reused buffer sliced to length zero).
+//
+//autofj:hotpath
 func AppendWordSet(dst []string, record string) []string {
-	dst = append(dst, strings.Fields(textproc.LowerStemRemovePunct.Apply(record))...)
+	dst = appendWords(dst, textproc.LowerStemRemovePunct.Apply(record))
 	sort.Strings(dst)
 	out := dst[:0]
 	for i, f := range dst {
@@ -143,6 +145,29 @@ func AppendWordSet(dst []string, record string) []string {
 		}
 	}
 	return out
+}
+
+// appendWords appends the whitespace-separated words of s to dst; each
+// word is a substring sharing s's memory, so splitting itself does not
+// allocate (unlike strings.Fields, which builds a fresh slice per call).
+//
+//autofj:hotpath
+func appendWords(dst []string, s string) []string {
+	start := -1
+	for i, r := range s {
+		if unicode.IsSpace(r) {
+			if start >= 0 {
+				dst = append(dst, s[start:i])
+				start = -1
+			}
+		} else if start < 0 {
+			start = i
+		}
+	}
+	if start >= 0 {
+		dst = append(dst, s[start:])
+	}
+	return dst
 }
 
 // Frozen is an immutable, goroutine-safe view of a rule set bound to a

@@ -146,12 +146,14 @@ func (b *batcher) dispatch(batch []*batchRequest, cp *compiledProgram, met *Metr
 		for i, req := range batch {
 			rows[i] = req.row
 		}
+		//autofj:ctx-ok a queued batch serves many callers; one caller's cancellation must not fail its batch companions
 		matches, err = cp.matcher.MatchRows(context.Background(), rows)
 	} else {
 		records := make([]string, len(batch))
 		for i, req := range batch {
 			records[i] = req.row[0]
 		}
+		//autofj:ctx-ok a queued batch serves many callers; one caller's cancellation must not fail its batch companions
 		matches, err = cp.matcher.MatchBatch(context.Background(), records)
 	}
 	for i, req := range batch {

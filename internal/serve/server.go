@@ -73,6 +73,8 @@ func (q queryRequest) row() ([]string, error) {
 }
 
 // queryResponse is the JSON answer of the data path.
+//
+//autofj:layout-ok field order is the JSON key order clients and golden tests observe; wire stability beats 8 bytes on a per-request struct
 type queryResponse struct {
 	Match     bool    `json:"match"`
 	Left      int     `json:"left"`
