@@ -88,6 +88,25 @@ type Match = core.Match
 // StreamMatch is one element of a Matcher.MatchStream.
 type StreamMatch = core.StreamMatch
 
+// Table is a join program compiled against a MUTABLE reference table:
+// immutable compiled segments plus a small delta, behind the Matcher query
+// API, with Add/Remove/Compact for in-place reference-table updates and
+// binary Save/Load snapshots for fast restarts. Build one with
+// Program.NewTable; every query is bit-identical to a full recompile of
+// the current rows.
+type Table = core.Table
+
+// TableBatch is a Table batch answer bound to the generation that
+// produced it.
+type TableBatch = core.TableBatch
+
+// LoadTable reconstructs a Table from binary snapshot bytes produced by
+// Table.Save.
+func LoadTable(data []byte, opt Options) (*Table, error) { return core.LoadTable(data, opt) }
+
+// LoadTableFile loads a Table snapshot from a file.
+func LoadTableFile(path string, opt Options) (*Table, error) { return core.LoadTableFile(path, opt) }
+
 // Learn runs single-column Auto-FuzzyJoin and compiles the learned
 // program into a serving Matcher in one step: the Result carries the
 // explainable program and the training-time joins, and the Matcher

@@ -11,8 +11,11 @@ import (
 	"fmt"
 	"iter"
 	"math/rand"
+	"path/filepath"
 	"runtime"
+	"sort"
 	"testing"
+	"time"
 
 	"github.com/chu-data-lab/autofuzzyjoin-go/internal/benchgen"
 	"github.com/chu-data-lab/autofuzzyjoin-go/internal/blocking"
@@ -457,6 +460,160 @@ func BenchmarkMatcherMatchStream(b *testing.B) {
 			b.Fatalf("stream yielded %d of %d", n, len(right))
 		}
 	}
+}
+
+// --- Mutable table (segments + delta) benches ---
+
+// benchTable10k compiles the serving program against a 10k-row reference
+// table through the mutable-table path.
+func benchTable10k(b *testing.B) *Table {
+	b.Helper()
+	left, _ := blockingBenchTables(10000, 1)
+	rows := make([][]string, len(left))
+	for i, v := range left {
+		rows[i] = []string{v}
+	}
+	tab, err := servingProgram().NewTable(1, rows, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tab
+}
+
+// BenchmarkTableAdd times appending one reference row into the mutable
+// delta of a compiled 10k-row table — the incremental path that exists
+// to avoid a full recompile (TestMutableTablePerfRatios pins the >=50x
+// acceptance ratio against the compile cost).
+func BenchmarkTableAdd(b *testing.B) {
+	tab := benchTable10k(b)
+	row := make([][]string, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		row[0] = []string{fmt.Sprintf("appended reference record %d", i)}
+		if _, err := tab.Add(row); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableMatchWithDelta measures per-query latency when answers
+// must merge the compiled segments with a populated delta (256 rows) —
+// the steady state between compactions. Compare BenchmarkMatcherMatch,
+// the same query path with no delta.
+func BenchmarkTableMatchWithDelta(b *testing.B) {
+	tab := benchTable10k(b)
+	_, right := blockingBenchTables(1, 2000)
+	extra := make([][]string, 256)
+	for i := range extra {
+		extra[i] = []string{fmt.Sprintf("delta resident record %d", i)}
+	}
+	if _, err := tab.Add(extra); err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := tab.Match(ctx, right[i%len(right)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSnapshotLoad times booting a 10k-row table from its binary
+// index snapshot — the restart path that skips the compile entirely
+// (TestMutableTablePerfRatios pins the >=20x acceptance ratio).
+func BenchmarkSnapshotLoad(b *testing.B) {
+	tab := benchTable10k(b)
+	path := filepath.Join(b.TempDir(), "bench.afjs")
+	if err := tab.SaveFile(path); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LoadTableFile(path, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestMutableTablePerfRatios pins the two acceptance ratios of the
+// mutable-table redesign at 10k reference rows: appending one row must
+// be >=50x cheaper than a recompile, and loading a snapshot >=20x
+// faster. The real margins are orders of magnitude, so the thresholds
+// leave plenty of headroom for noisy CI machines.
+func TestMutableTablePerfRatios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-based ratio test")
+	}
+	left, _ := blockingBenchTables(10000, 1)
+	rows := make([][]string, len(left))
+	for i, v := range left {
+		rows[i] = []string{v}
+	}
+	prog := servingProgram()
+	var tab *Table
+	// Ratios of medians rather than of minimums: a minimum is an extreme
+	// statistic, so the ratio of two minimums amplifies scheduler and GC
+	// noise in opposite directions; the median of five runs per side is
+	// stable and reflects the typical cost of each operation.
+	compileCost := medianOf(5, func() {
+		var err error
+		if tab, err = prog.NewTable(1, rows, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	addCost := medianOf(5, func() {
+		if _, err := tab.Add([][]string{{"one fresh record"}}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	path := filepath.Join(t.TempDir(), "ratio.afjs")
+	if err := tab.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// A daemon boot loads into a fresh heap. Drop the compiled tables and
+	// collect before each run so the load timing is not inflated by GC
+	// cycles re-scanning the test's own leftover 10k-row tables.
+	tab, rows, left = nil, nil, nil
+	loads := make([]time.Duration, 9)
+	for i := range loads {
+		runtime.GC() // untimed: collect leftovers before, not during, the run
+		start := time.Now()
+		if _, err := LoadTableFile(path, Options{}); err != nil {
+			t.Fatal(err)
+		}
+		loads[i] = time.Since(start)
+	}
+	// The first couple of loads run before the GC pacer has adapted to the
+	// load's allocation pattern and measure warmup, not load cost; treat
+	// them as untimed warmup and take the median of the rest.
+	loads = loads[2:]
+	sort.Slice(loads, func(i, j int) bool { return loads[i] < loads[j] })
+	loadCost := loads[len(loads)/2]
+	t.Logf("recompile %v; Add one row %v (%.0fx); snapshot Load %v (%.1fx)",
+		compileCost, addCost, float64(compileCost)/float64(addCost),
+		loadCost, float64(compileCost)/float64(loadCost))
+	if addCost*50 > compileCost {
+		t.Errorf("Add one row cost %v vs recompile %v: want >=50x cheaper", addCost, compileCost)
+	}
+	if loadCost*20 > compileCost {
+		t.Errorf("snapshot Load cost %v vs recompile %v: want >=20x faster", loadCost, compileCost)
+	}
+}
+
+// medianOf returns the median of n timed runs of fn.
+func medianOf(n int, fn func()) time.Duration {
+	ds := make([]time.Duration, n)
+	for i := range ds {
+		start := time.Now()
+		fn()
+		ds[i] = time.Since(start)
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return ds[n/2]
 }
 
 // BenchmarkParallelism measures the pre-computation fan-out.

@@ -23,6 +23,12 @@
 //
 //	autofj -left l.csv -right r2.csv -load-program prog.json
 //
+// Append extra reference rows AFTER compiling, without recompiling the
+// whole table (they land in the table's mutable delta — answers are
+// bit-identical to compiling the union):
+//
+//	autofj -left l.csv -append extra.csv -right r2.csv -load-program prog.json
+//
 // Serve queries from stdin, one record per line (a CSV row per line when
 // the program is multi-column), answering each line as it arrives:
 //
@@ -67,20 +73,21 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("autofj", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		leftPath  = fs.String("left", "", "reference table CSV (required)")
-		rightPath = fs.String("right", "", "query table CSV (required unless serving a loaded program)")
-		column    = fs.String("column", "", "join key column name (default: first column)")
-		multi     = fs.Bool("multi", false, "use all columns (multi-column AutoFJ)")
-		tau       = fs.Float64("tau", 0.9, "precision target")
-		steps     = fs.Int("steps", 50, "threshold discretization steps")
-		beta      = fs.Float64("beta", 1.0, "blocking factor")
-		space     = fs.String("space", "", "configuration space: full (default), reduced, extended, or a positive integer N for a nested N-function subspace")
-		reduced   = fs.Bool("reduced", false, "deprecated alias for -space reduced")
-		parallel  = fs.Int("parallelism", 0, "worker goroutines (0 = all CPUs, 1 = sequential)")
-		outPath   = fs.String("out", "", "output CSV (default stdout)")
-		savePath  = fs.String("save-program", "", "after learning, write the join program JSON here")
-		loadPath  = fs.String("load-program", "", "load a saved program JSON instead of learning")
-		serveFlag = fs.Bool("serve-stdin", false, "serve queries from stdin, one per line")
+		leftPath   = fs.String("left", "", "reference table CSV (required)")
+		rightPath  = fs.String("right", "", "query table CSV (required unless serving a loaded program)")
+		column     = fs.String("column", "", "join key column name (default: first column)")
+		multi      = fs.Bool("multi", false, "use all columns (multi-column AutoFJ)")
+		tau        = fs.Float64("tau", 0.9, "precision target")
+		steps      = fs.Int("steps", 50, "threshold discretization steps")
+		beta       = fs.Float64("beta", 1.0, "blocking factor")
+		space      = fs.String("space", "", "configuration space: full (default), reduced, extended, or a positive integer N for a nested N-function subspace")
+		reduced    = fs.Bool("reduced", false, "deprecated alias for -space reduced")
+		parallel   = fs.Int("parallelism", 0, "worker goroutines (0 = all CPUs, 1 = sequential)")
+		outPath    = fs.String("out", "", "output CSV (default stdout)")
+		savePath   = fs.String("save-program", "", "after learning, write the join program JSON here")
+		loadPath   = fs.String("load-program", "", "load a saved program JSON instead of learning")
+		appendPath = fs.String("append", "", "CSV of extra reference rows, appended to the compiled table's delta (requires -load-program)")
+		serveFlag  = fs.Bool("serve-stdin", false, "serve queries from stdin, one per line")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -91,6 +98,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	}
 	if *loadPath != "" && *savePath != "" {
 		return errors.New("-save-program only makes sense when learning (drop -load-program)")
+	}
+	if *appendPath != "" && *loadPath == "" {
+		return errors.New("-append requires -load-program (a learning run reads all reference rows from -left)")
 	}
 	left, err := serve.ReadCSVFile(*leftPath)
 	if err != nil {
@@ -178,8 +188,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 	// through withOutput so a failing Close on -out (full disk, quota)
 	// surfaces as an error instead of a silently truncated CSV.
 	if *serveFlag {
+		tab, err := buildTable(prog, left, *column, *appendPath, opt, stderr)
+		if err != nil {
+			return err
+		}
 		return withOutput(*outPath, stdout, func(out io.Writer) error {
-			return serveStdin(prog, left, *column, opt, stdin, out, stderr)
+			return serveStdin(tab, stdin, out, stderr)
 		})
 	}
 
@@ -200,42 +214,97 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
 		return withOutput(*outPath, stdout, result.WriteCSV)
 	}
 
-	// Loaded program: compile once against the reference table, match the
-	// whole right table.
+	// Loaded program: compile the mutable table once against the reference
+	// rows (plus any -append delta), match the whole right table.
 	if *rightPath == "" {
 		fs.Usage()
 		return errors.New("-right is required to apply a loaded program (or add -serve-stdin)")
 	}
-	matcher, leftVals, err := serve.CompileProgram(prog, left, *column, opt)
+	tab, err := buildTable(prog, left, *column, *appendPath, opt, stderr)
 	if err != nil {
 		return err
 	}
-	var matches []autofj.Match
+	var rows [][]string
 	var rightVals []string
-	if len(prog.Columns) > 0 {
+	if tab.MultiColumn() {
 		rightVals = serve.ConcatRows(right)
-		matches, err = matcher.MatchRows(context.Background(), right.Rows)
+		rows = right.Rows
 	} else {
 		if rightVals, err = serve.KeyColumn(right, *column); err != nil {
 			return err
 		}
-		matches, err = matcher.MatchBatch(context.Background(), rightVals)
+		rows = make([][]string, len(rightVals))
+		for i, v := range rightVals {
+			rows[i] = []string{v}
+		}
 	}
+	tb, err := tab.MatchBatchAt(context.Background(), rows)
 	if err != nil {
 		return err
 	}
 	result := joinTable()
-	for r, m := range matches {
+	for r, m := range tb.Matches {
 		if m.Left < 0 {
 			continue
 		}
 		result.Rows = append(result.Rows, []string{
 			strconv.Itoa(r), strconv.Itoa(m.Left),
-			rightVals[r], leftVals[m.Left],
+			rightVals[r], displayRow(tb.Rows[r], tab.MultiColumn()),
 			strconv.FormatFloat(m.Precision, 'f', 4, 64),
 		})
 	}
 	return withOutput(*outPath, stdout, result.WriteCSV)
+}
+
+// buildTable compiles the serving table for a loaded (or just-learned)
+// program and appends the -append rows into its delta: the cheap
+// incremental path — no recompile of the existing reference rows.
+func buildTable(prog *autofj.Program, left dataset.Table, column, appendPath string, opt autofj.Options, stderr io.Writer) (*autofj.Table, error) {
+	tab, err := serve.CompileTable(prog, left, column, opt)
+	if err != nil {
+		return nil, err
+	}
+	if appendPath == "" {
+		return tab, nil
+	}
+	extra, err := serve.ReadCSVFile(appendPath)
+	if err != nil {
+		return nil, err
+	}
+	var rows [][]string
+	if tab.MultiColumn() {
+		if len(extra.Columns) != tab.RowWidth() {
+			return nil, fmt.Errorf("-append table has %d columns, program wants %d", len(extra.Columns), tab.RowWidth())
+		}
+		rows = extra.Rows
+	} else {
+		keys, err := serve.KeyColumn(extra, column)
+		if err != nil {
+			return nil, err
+		}
+		rows = make([][]string, len(keys))
+		for i, k := range keys {
+			rows[i] = []string{k}
+		}
+	}
+	if _, err := tab.Add(rows); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(stderr, "appended %d rows from %s (%d reference records)\n", len(rows), appendPath, tab.Len())
+	return tab, nil
+}
+
+// displayRow renders a matched reference row: the key cell for
+// single-column programs, the whitespace-normalized concatenation for
+// multi-column ones (same form as serve.ConcatRows).
+func displayRow(row []string, multi bool) string {
+	if len(row) == 0 {
+		return ""
+	}
+	if !multi {
+		return row[0]
+	}
+	return strings.Join(strings.Fields(strings.Join(row, " ")), " ")
 }
 
 // withOutput runs fn against stdout or the -out file. The file's Close
@@ -304,19 +373,15 @@ func outputValues(prog *autofj.Program, left, right dataset.Table, column string
 }
 
 // serveStdin answers one query per input line against the compiled
-// matcher, flushing each answer as it is produced (to stdout or -out).
+// table, flushing each answer as it is produced (to stdout or -out).
 // Multi-column programs take a CSV row per line.
 //
 // A malformed or wrong-arity line answers with an error record (left_row
 // -1, like a no-match) plus a diagnostic on stderr, and serving
 // continues: one bad query must never take down the loop and everything
 // queued behind it. Only write failures on the output end the loop.
-func serveStdin(prog *autofj.Program, left dataset.Table, column string, opt autofj.Options, stdin io.Reader, out, stderr io.Writer) error {
-	matcher, leftVals, err := serve.CompileProgram(prog, left, column, opt)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(stderr, "serving %d reference records; one query per line\n", matcher.Len())
+func serveStdin(tab *autofj.Table, stdin io.Reader, out, stderr io.Writer) error {
+	fmt.Fprintf(stderr, "serving %d reference records; one query per line\n", tab.Len())
 	w := csv.NewWriter(out)
 	if err := w.Write([]string{"query", "left_row", "left_value", "distance", "estimated_precision"}); err != nil {
 		return err
@@ -330,13 +395,13 @@ func serveStdin(prog *autofj.Program, left dataset.Table, column string, opt aut
 		var m autofj.Match
 		var ok bool
 		var qerr error
-		if matcher.MultiColumn() {
+		if tab.MultiColumn() {
 			var row []string
 			if row, qerr = csv.NewReader(strings.NewReader(line)).Read(); qerr == nil {
-				m, ok, qerr = matcher.MatchRow(ctx, row)
+				m, ok, qerr = tab.MatchRow(ctx, row)
 			}
 		} else {
-			m, ok, qerr = matcher.Match(ctx, line)
+			m, ok, qerr = tab.Match(ctx, line)
 		}
 		rec := []string{line, "-1", "", "", ""}
 		if qerr != nil {
@@ -344,8 +409,12 @@ func serveStdin(prog *autofj.Program, left dataset.Table, column string, opt aut
 			fmt.Fprintf(stderr, "autofj: query line %d: %v\n", lineNo, qerr)
 		}
 		if ok {
+			leftRow, rerr := tab.Row(m.Left)
+			if rerr != nil {
+				return rerr
+			}
 			rec = []string{
-				line, strconv.Itoa(m.Left), leftVals[m.Left],
+				line, strconv.Itoa(m.Left), displayRow(leftRow, tab.MultiColumn()),
 				strconv.FormatFloat(m.Distance, 'f', 4, 64),
 				strconv.FormatFloat(m.Precision, 'f', 4, 64),
 			}

@@ -120,6 +120,89 @@ func TestSaveLoadApplyLoop(t *testing.T) {
 	}
 }
 
+// TestAppendFlag applies a saved program with -append: the extra
+// reference rows land in the table's delta and are joinable without a
+// recompile, while every pre-existing join is unchanged.
+func TestAppendFlag(t *testing.T) {
+	dir := t.TempDir()
+	leftPath, _ := cliTables(t, dir)
+	// A right table with one probe row far from every reference row (the
+	// learned thresholds are loose enough to absorb plain English phrases,
+	// so the probe must be genuinely dissimilar).
+	const probe = "zzz qq xx yy"
+	rightPath := filepath.Join(dir, "right-probe.csv")
+	writeCSVFile(t, rightPath, "name", []string{
+		"alpha reserch institute", "carol analytics", probe,
+	})
+	progPath := filepath.Join(dir, "prog.json")
+	if err := run([]string{
+		"-left", leftPath, "-right", rightPath, "-tau", "0.7", "-steps", "15",
+		"-reduced", "-save-program", progPath, "-out", filepath.Join(dir, "learn.csv"),
+	}, strings.NewReader(""), io.Discard, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	extraPath := filepath.Join(dir, "extra.csv")
+	writeCSVFile(t, extraPath, "name", []string{probe})
+
+	baseOut := filepath.Join(dir, "base.csv")
+	if err := run([]string{
+		"-left", leftPath, "-right", rightPath, "-load-program", progPath, "-out", baseOut,
+	}, strings.NewReader(""), io.Discard, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	base := joinValues(t, baseOut)
+	if _, ok := base[probe]; ok {
+		t.Fatal("test premise broken: the probe row joined without -append")
+	}
+
+	var errBuf bytes.Buffer
+	appendOut := filepath.Join(dir, "append.csv")
+	if err := run([]string{
+		"-left", leftPath, "-right", rightPath, "-load-program", progPath,
+		"-append", extraPath, "-out", appendOut,
+	}, strings.NewReader(""), io.Discard, &errBuf); err != nil {
+		t.Fatalf("apply with -append: %v (stderr: %s)", err, errBuf.String())
+	}
+	appended := joinValues(t, appendOut)
+	if got := appended[probe]; got != probe {
+		t.Errorf("appended row not joined: got left %q", got)
+	}
+	for r, l := range base {
+		if appended[r] != l {
+			t.Errorf("right %q: left %q without -append, %q with", r, l, appended[r])
+		}
+	}
+	if !strings.Contains(errBuf.String(), "appended 1 rows") {
+		t.Errorf("stderr missing append log: %s", errBuf.String())
+	}
+
+	// -append only makes sense against a compiled program.
+	if err := run([]string{
+		"-left", leftPath, "-right", rightPath, "-append", extraPath,
+	}, strings.NewReader(""), io.Discard, io.Discard); err == nil {
+		t.Error("-append without -load-program accepted")
+	}
+}
+
+// joinValues parses an apply-mode output CSV into right_value -> left_value.
+func joinValues(t *testing.T, path string) map[string]string {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tab, err := dataset.ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]string{}
+	for _, row := range tab.Rows {
+		out[row[2]] = row[3]
+	}
+	return out
+}
+
 // TestServeStdin streams queries through the compiled matcher.
 func TestServeStdin(t *testing.T) {
 	dir := t.TempDir()

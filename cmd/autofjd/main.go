@@ -24,15 +24,33 @@
 //	curl -X POST localhost:8080/v1/programs/orgs \
 //	     -d '{"program_path":"prog2.json","left_path":"left.csv","column":"name"}'
 //
+// Mutate the reference table in place — appends land in the table's
+// delta and are answerable immediately, deletes tombstone by index, and
+// a background compactor folds the delta into compiled segments once it
+// grows past -delta-max rows (answers stay bit-identical throughout):
+//
+//	curl -X POST localhost:8080/v1/programs/orgs/rows -d '{"records":["new org name"]}'
+//	curl -X DELETE localhost:8080/v1/programs/orgs/rows -d '{"indices":[3]}'
+//	curl -X POST localhost:8080/v1/programs/orgs/compact
+//
+// -snapshot names a binary index snapshot: when the file exists the
+// daemon boots from it (skipping the compile entirely — no -program or
+// -left needed), otherwise it compiles as usual and writes the snapshot
+// for the next boot:
+//
+//	autofjd -addr :8080 -name orgs -snapshot orgs.afjs
+//
 // The config file is JSON (see internal/serve.Config):
 //
 //	{
 //	  "listen": ":8080",
 //	  "programs": [
 //	    {"name": "orgs", "program_path": "prog.json",
-//	     "left_path": "left.csv", "column": "name"}
+//	     "left_path": "left.csv", "column": "name",
+//	     "snapshot_path": "orgs.afjs"}
 //	  ],
-//	  "cache_size": 4096, "batch_window_us": 500, "batch_max": 64
+//	  "cache_size": 4096, "batch_window_us": 500, "batch_max": 64,
+//	  "delta_max": 512
 //	}
 package main
 
@@ -75,7 +93,9 @@ func run(args []string, stderr io.Writer, ready chan<- string, shutdown <-chan s
 		progPath   = fs.String("program", "", "program JSON for -name (from autofj -save-program)")
 		leftPath   = fs.String("left", "", "reference table CSV for -name")
 		column     = fs.String("column", "", "join key column for -name (default: first column)")
+		snapshot   = fs.String("snapshot", "", "binary index snapshot for -name: loaded when it exists, written after compiling otherwise")
 		parallel   = fs.Int("parallelism", 0, "worker goroutines per batch (0 = all CPUs)")
+		deltaMax   = fs.Int("delta-max", 0, "delta rows before background compaction (0 = default, negative = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -89,14 +109,23 @@ func run(args []string, stderr io.Writer, ready chan<- string, shutdown <-chan s
 		}
 	}
 	if *name != "" {
-		if *progPath == "" || *leftPath == "" {
-			return errors.New("-name needs -program and -left")
+		// A bare -snapshot boot needs no program or reference table: the
+		// compiled index IS the artifact. Compiling fresh still needs both.
+		snapExists := false
+		if *snapshot != "" {
+			if _, err := os.Stat(*snapshot); err == nil {
+				snapExists = true
+			}
+		}
+		if (*progPath == "" || *leftPath == "") && !snapExists {
+			return errors.New("-name needs -program and -left (or an existing -snapshot)")
 		}
 		cfg.Programs = append(cfg.Programs, serve.ProgramSpec{
-			Name:        *name,
-			ProgramPath: *progPath,
-			LeftPath:    *leftPath,
-			Column:      *column,
+			Name:         *name,
+			ProgramPath:  *progPath,
+			LeftPath:     *leftPath,
+			Column:       *column,
+			SnapshotPath: *snapshot,
 		})
 	}
 	if len(cfg.Programs) == 0 {
@@ -108,6 +137,9 @@ func run(args []string, stderr io.Writer, ready chan<- string, shutdown <-chan s
 	}
 	if *parallel != 0 {
 		cfg.Parallelism = *parallel
+	}
+	if *deltaMax != 0 {
+		cfg.DeltaMax = *deltaMax
 	}
 
 	reg := serve.NewRegistry(cfg, serve.NewMetrics(time.Now()))

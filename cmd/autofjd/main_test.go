@@ -150,6 +150,103 @@ func TestDaemonConfigFile(t *testing.T) {
 	}
 }
 
+// TestDaemonSnapshotBoot: the first run compiles and writes -snapshot;
+// the second run boots from the snapshot alone (no -program, no -left)
+// and serves, appends, and compacts through the HTTP API.
+func TestDaemonSnapshotBoot(t *testing.T) {
+	dir := t.TempDir()
+	progPath := filepath.Join(dir, "prog.json")
+	leftPath := filepath.Join(dir, "left.csv")
+	snapPath := filepath.Join(dir, "orgs.afjs")
+	writeFile(t, progPath, testProgramJSON)
+	writeFile(t, leftPath, "name\nalpha research institute\nbravo analytics bureau\n")
+
+	// Boot 1: compile, write the snapshot.
+	_, stop := startDaemon(t, []string{
+		"-addr", "127.0.0.1:0",
+		"-name", "orgs", "-program", progPath, "-left", leftPath,
+		"-column", "name", "-snapshot", snapPath,
+	})
+	if err := stop(); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if _, err := os.Stat(snapPath); err != nil {
+		t.Fatalf("snapshot not written: %v", err)
+	}
+
+	// Boot 2: snapshot only, with a tiny compaction trigger.
+	base, stop := startDaemon(t, []string{
+		"-addr", "127.0.0.1:0",
+		"-name", "orgs", "-snapshot", snapPath, "-delta-max", "1",
+	})
+	defer stop()
+
+	query := func(q string) (bool, string) {
+		t.Helper()
+		resp, err := http.Get(base + "/v1/programs/orgs/query?q=" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var body struct {
+			Match     bool   `json:"match"`
+			LeftValue string `json:"left_value"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return body.Match, body.LeftValue
+	}
+	if ok, val := query("alpha+reserch+institute"); !ok || val != "alpha research institute" {
+		t.Errorf("snapshot-booted query: match=%v left=%q", ok, val)
+	}
+
+	// Append a row over HTTP; it must answer immediately from the delta,
+	// and the background compactor (delta-max 1) must fold it in.
+	resp, err := http.Post(base+"/v1/programs/orgs/rows", "application/json",
+		strings.NewReader(`{"records":["carol standards council"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("rows append = %d", resp.StatusCode)
+	}
+	if ok, val := query("carol+standards+councle"); !ok || val != "carol standards council" {
+		t.Errorf("appended row query: match=%v left=%q", ok, val)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var listing struct {
+			Programs []struct {
+				DeltaRows int `json:"delta_rows"`
+				Records   int `json:"records"`
+			} `json:"programs"`
+		}
+		resp, err := http.Get(base + "/v1/programs")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if len(listing.Programs) == 1 && listing.Programs[0].DeltaRows == 0 {
+			if listing.Programs[0].Records != 3 {
+				t.Errorf("records after compaction = %d", listing.Programs[0].Records)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("delta never compacted: %+v", listing)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if ok, val := query("carol+standards+councle"); !ok || val != "carol standards council" {
+		t.Errorf("post-compaction query: match=%v left=%q", ok, val)
+	}
+}
+
 // TestDaemonFlagValidation: the startup error paths exit instead of
 // serving nothing.
 func TestDaemonFlagValidation(t *testing.T) {
@@ -158,6 +255,10 @@ func TestDaemonFlagValidation(t *testing.T) {
 	}
 	if err := run([]string{"-name", "orgs"}, io.Discard, nil, nil); err == nil {
 		t.Error("-name without -program/-left accepted")
+	}
+	if err := run([]string{"-name", "orgs", "-snapshot", "/nonexistent/orgs.afjs"},
+		io.Discard, nil, nil); err == nil {
+		t.Error("-name with a missing -snapshot and no -program/-left accepted")
 	}
 	if err := run([]string{"-config", "/nonexistent/autofjd.json"}, io.Discard, nil, nil); err == nil {
 		t.Error("missing config accepted")

@@ -3,6 +3,7 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -176,8 +177,11 @@ func (l *Loader) LoadModule() ([]*Package, error) {
 	return pkgs, nil
 }
 
-// goFilesIn lists the non-test Go files of dir, sorted, skipping files
-// with a leading build-ignore marker.
+// goFilesIn lists the non-test Go files of dir that build on the current
+// platform, sorted. Build-constraint filtering (both //go:build lines and
+// _GOOS/_GOARCH filename suffixes) matches what `go build` would compile,
+// so platform-specific pairs like mmap_linux.go / mmap_other.go don't
+// typecheck as duplicate declarations.
 func goFilesIn(dir string) ([]string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -189,6 +193,12 @@ func goFilesIn(dir string) ([]string, error) {
 		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
 			strings.HasSuffix(name, "_test.go") ||
 			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		if ok, err := build.Default.MatchFile(dir, name); err != nil || !ok {
+			if err != nil {
+				return nil, fmt.Errorf("analysis: matching %s: %w", filepath.Join(dir, name), err)
+			}
 			continue
 		}
 		names = append(names, name)

@@ -77,45 +77,16 @@ func grams(s string) []string {
 func NewIndex(left []string) *Index { return NewIndexParallel(left, 1) }
 
 // NewIndexParallel indexes the left table, extracting record grams across
-// up to parallelism goroutines (0 means GOMAXPROCS).
+// up to parallelism goroutines (0 means GOMAXPROCS). The inverted index is
+// a Segment plus IDF weights over its own postings.
 func NewIndexParallel(left []string, parallelism int) *Index {
-	docStrs := make([][]string, len(left))
-	parallel.Shard(len(left), parallel.Workers(parallelism, len(left)), func(_, start, end int) {
-		for i := start; i < end; i++ {
-			docStrs[i] = grams(left[i])
-		}
-	})
-
-	vocab := make(map[string]struct{})
-	for _, gs := range docStrs {
-		for _, g := range gs {
-			vocab[g] = struct{}{}
-		}
-	}
-	sorted := make([]string, 0, len(vocab))
-	for g := range vocab {
-		sorted = append(sorted, g)
-	}
-	sort.Strings(sorted)
-
+	seg := BuildSegment(left, parallelism)
 	ix := &Index{
-		n:        len(left),
-		gramID:   make(map[string]int32, len(sorted)),
-		postings: make([][]int32, len(sorted)),
-		idf:      make([]float64, len(sorted)),
-		docGrams: make([][]int32, len(left)),
-	}
-	for id, g := range sorted {
-		ix.gramID[g] = int32(id)
-	}
-	for i, gs := range docStrs {
-		ids := make([]int32, len(gs))
-		for gi, g := range gs {
-			id := ix.gramID[g]
-			ids[gi] = id
-			ix.postings[id] = append(ix.postings[id], int32(i))
-		}
-		ix.docGrams[i] = ids // ascending: gs is sorted and ids are lexicographic
+		n:        seg.n,
+		gramID:   seg.gramID,
+		postings: seg.postings,
+		idf:      make([]float64, len(seg.vocab)),
+		docGrams: seg.docGrams,
 	}
 	n := float64(ix.n)
 	if n < 1 {

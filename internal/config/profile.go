@@ -65,14 +65,43 @@ func (c *Corpus) Stats(pre textproc.Option, tok tokenize.Option) *weights.Stats 
 	return c.stats[pre][tok]
 }
 
+// VecBlock is the weighted-vector storage of one (pre-processing,
+// tokenization) representation pair: one Sparse per weighting scheme.
+type VecBlock [numWt]distance.Sparse
+
 // Profile is the pre-computed multi-representation view of one record:
 // its pre-processed strings, weighted token sets, and embeddings, for every
 // representation the space requires.
+//
+// The vector and embedding storage lives behind pointers allocated only
+// for the representations the space actually uses: inlined, the full
+// [numPre][numTok][numWt] vector block plus embeddings is over 3KB per
+// record, of which a typical space touches a small fraction — and tables
+// hold one profile per reference row. Code that indexes vecs/emb directly
+// (the distance kernels, Reweighted) runs only for representations the
+// profile was built with, so those reads never see nil.
 type Profile struct {
 	Raw  string
 	proc [numPre]string
-	vecs [numPre][numTok][numWt]distance.Sparse
-	emb  [numPre]embed.Vector
+	vecs [numPre][numTok]*VecBlock
+	emb  *[numPre]embed.Vector
+}
+
+// ensureVec allocates the vector block of one representation pair on
+// first use.
+func (p *Profile) ensureVec(pi, ti int) *VecBlock {
+	if p.vecs[pi][ti] == nil {
+		p.vecs[pi][ti] = new(VecBlock)
+	}
+	return p.vecs[pi][ti]
+}
+
+// ensureEmb allocates the embedding block on first use.
+func (p *Profile) ensureEmb() *[numPre]embed.Vector {
+	if p.emb == nil {
+		p.emb = new([numPre]embed.Vector)
+	}
+	return p.emb
 }
 
 // Profile builds the representation bundle for one record.
@@ -85,7 +114,7 @@ func (c *Corpus) Profile(s string) *Profile {
 		pre := textproc.Option(pi)
 		p.proc[pi] = pre.Apply(s)
 		if c.needEmb[pi] {
-			p.emb[pi] = embed.Embed(p.proc[pi])
+			p.ensureEmb()[pi] = embed.Embed(p.proc[pi])
 		}
 		for ti := 0; ti < numTok; ti++ {
 			toks := []string(nil)
@@ -99,7 +128,7 @@ func (c *Corpus) Profile(s string) *Profile {
 					tokenized = true
 				}
 				scheme := weights.Scheme(wi)
-				p.vecs[pi][ti][wi] = distance.NewSparse(scheme.Vector(toks, c.stats[pi][ti]))
+				p.ensureVec(pi, ti)[wi] = distance.NewSparse(scheme.Vector(toks, c.stats[pi][ti]))
 			}
 		}
 	}

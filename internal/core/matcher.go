@@ -568,8 +568,14 @@ const streamChunk = 128
 // consumer. Breaking out of the loop or cancelling ctx stops the
 // pipeline promptly; a cancellation error is yielded as the final pair.
 func (m *Matcher) MatchStream(ctx context.Context, records iter.Seq[string]) iter.Seq2[StreamMatch, error] {
+	return matchStream(ctx, m.multi, records, m.MatchBatch)
+}
+
+// matchStream is the shared streaming pipeline behind Matcher.MatchStream
+// and Table.MatchStream, parameterized by the batch matcher it feeds.
+func matchStream(ctx context.Context, multi bool, records iter.Seq[string], batch func(context.Context, []string) ([]Match, error)) iter.Seq2[StreamMatch, error] {
 	return func(yield func(StreamMatch, error) bool) {
-		if m.multi {
+		if multi {
 			yield(StreamMatch{Index: -1, Match: noMatch()}, errNeedRow)
 			return
 		}
@@ -595,7 +601,7 @@ func (m *Matcher) MatchStream(ctx context.Context, records iter.Seq[string]) ite
 				}
 				recs := buf
 				buf = make([]string, 0, streamChunk)
-				res, err := m.MatchBatch(ictx, recs)
+				res, err := batch(ictx, recs)
 				select {
 				case ch <- chunk{base: base, recs: recs, res: res, err: err}:
 				case <-ictx.Done():

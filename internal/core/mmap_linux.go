@@ -1,0 +1,44 @@
+//go:build linux
+
+package core
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps path read-only and returns the mapped bytes, or ok=false
+// when the platform or the file rejects mapping (caller falls back to a
+// plain read). MAP_POPULATE pre-faults the pages so the decode pass does
+// not pay one minor fault per page; for a file just written by SaveFile the
+// pages are already in the page cache, making this a table walk rather
+// than I/O.
+//
+// The mapping is intentionally never unmapped: the decoded table and every
+// string a query returns alias it, and those strings can outlive the
+// table. A read-only file-backed mapping costs address space, not dirty
+// memory, and tables are loaded a handful of times per process (boot and
+// hot-swap), so leaking the map is the safe trade. SaveFile replaces
+// snapshots by rename, which swaps the inode and leaves a live mapping of
+// the old file intact.
+func mmapFile(path string) (data []byte, ok bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil || st.Size() <= 0 || st.Size() != int64(int(st.Size())) {
+		return nil, false
+	}
+	data, err = syscall.Mmap(int(f.Fd()), 0, int(st.Size()),
+		syscall.PROT_READ, syscall.MAP_SHARED|syscall.MAP_POPULATE)
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// munmapFile releases a mapping from mmapFile; only called when the decode
+// rejected the data, so nothing can alias it.
+func munmapFile(data []byte) { syscall.Munmap(data) }

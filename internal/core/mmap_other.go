@@ -1,0 +1,9 @@
+//go:build !linux
+
+package core
+
+// mmapFile is the non-Linux stub; LoadTableFile falls back to reading the
+// whole file into memory.
+func mmapFile(path string) (data []byte, ok bool) { return nil, false }
+
+func munmapFile(data []byte) {}

@@ -1,0 +1,940 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+
+	"unsafe"
+
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/blocking"
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/config"
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/distance"
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/embed"
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/textproc"
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/tokenize"
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/weights"
+)
+
+// Binary snapshot format for compiled tables.
+//
+// Loading a snapshot skips everything expensive about compilation — q-gram
+// index construction, tokenization, embedding — so a daemon restart is
+// bounded by deserialization, not by recompiling the reference table. The
+// format is versioned and checksummed:
+//
+//	"AFJS" | version byte | crc32c (Castagnoli) of body, LE | body
+//
+// The body stores the program (JSON, so snapshots stay debuggable), the row
+// arity, each compiled segment (blocking parts, alive bitmap, rows, count
+// profiles, negative-rule word sets), the token IDF statistics, and the raw
+// live delta rows, which are replayed through the normal Add path at load.
+// Strings decode as substrings of the mapped or loaded body; posting and
+// doc-gram lists and count-vector weights are aligned fixed-width
+// little-endian blocks aliased straight out of it. Cheaply derivable state
+// — blocking keys, cells — is recomputed rather than stored.
+//
+// Load never trusts the input: every count is bounds-checked against the
+// remaining bytes and every cross-reference is validated, so a truncated or
+// corrupted file yields a descriptive error, never a panic.
+
+const (
+	snapshotMagic     = "AFJS"
+	snapshotVersion   = 1
+	snapshotHeaderLen = 9 // magic + version byte + crc32c
+)
+
+// snapshotCRC is the Castagnoli table: crc32c has dedicated hardware
+// support on both amd64 and arm64, and the checksum pass touches every
+// byte of a multi-megabyte file on the boot path.
+var snapshotCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// Save writes a snapshot of the table's current generation to w.
+func (t *Table) Save(w io.Writer) error {
+	t.mu.RLock()
+	body := t.encodeBody()
+	t.mu.RUnlock()
+
+	var hdr [9]byte
+	copy(hdr[:4], snapshotMagic)
+	hdr[4] = snapshotVersion
+	binary.LittleEndian.PutUint32(hdr[5:9], crc32.Checksum(body, snapshotCRC))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// SaveFile writes a snapshot to path via a same-directory temp file and
+// rename, so a crash mid-write can never leave a half-written snapshot
+// under the final name.
+func (t *Table) SaveFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := t.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadTable reconstructs a table from snapshot bytes. The options play the
+// same role as in Program.NewTable (parallelism, ball-radius fallback).
+// The loaded table starts at generation 1 and answers every query
+// bit-identically to the table that was saved.
+func LoadTable(data []byte, opt Options) (*Table, error) {
+	if err := checkSnapshotHeader(data); err != nil {
+		return nil, err
+	}
+	// The caller keeps ownership of data, so decode over a private copy:
+	// the loaded table's strings and posting lists alias the blob.
+	return decodeBody(string(data), opt)
+}
+
+// loadOwnedTable is LoadTable for buffers the loader itself allocated and
+// will never touch again: the decode aliases the bytes in place instead of
+// copying the multi-megabyte body.
+func loadOwnedTable(data []byte, opt Options) (*Table, error) {
+	if err := checkSnapshotHeader(data); err != nil {
+		return nil, err
+	}
+	return decodeBody(unsafe.String(unsafe.SliceData(data), len(data)), opt)
+}
+
+func checkSnapshotHeader(data []byte) error {
+	if len(data) < snapshotHeaderLen {
+		return fmt.Errorf("core: snapshot truncated: %d bytes, want at least a %d-byte header", len(data), snapshotHeaderLen)
+	}
+	if string(data[:4]) != snapshotMagic {
+		return fmt.Errorf("core: not a table snapshot (bad magic %q)", data[:4])
+	}
+	if v := data[4]; v != snapshotVersion {
+		return fmt.Errorf("core: unsupported snapshot version %d (this build reads version %d)", v, snapshotVersion)
+	}
+	if sum := crc32.Checksum(data[snapshotHeaderLen:], snapshotCRC); sum != binary.LittleEndian.Uint32(data[5:9]) {
+		return fmt.Errorf("core: snapshot checksum mismatch (file corrupted or truncated)")
+	}
+	return nil
+}
+
+// LoadTableReader reads all of r and loads the snapshot.
+func LoadTableReader(r io.Reader, opt Options) (*Table, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return loadOwnedTable(data, opt)
+}
+
+// LoadTableFile loads a snapshot from a file. Where the platform allows it
+// the file is memory-mapped instead of read: the decode aliases the bytes
+// either way, and mapping skips the copy, the buffer zeroing, and the GC
+// pressure of a multi-megabyte read — the bulk of a daemon's boot cost.
+// The mapping stays for the life of the process (see mmapFile); corrupt
+// data is still rejected up front because the checksum pass touches every
+// byte before any of it is trusted.
+func LoadTableFile(path string, opt Options) (*Table, error) {
+	if data, ok := mmapFile(path); ok {
+		t, err := loadOwnedTable(data, opt)
+		if err != nil {
+			munmapFile(data)
+			return nil, err
+		}
+		return t, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return loadOwnedTable(data, opt)
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+
+type snapWriter struct {
+	buf bytes.Buffer
+	tmp [binary.MaxVarintLen64]byte
+}
+
+func (w *snapWriter) uvarint(x uint64) {
+	n := binary.PutUvarint(w.tmp[:], x)
+	w.buf.Write(w.tmp[:n])
+}
+
+func (w *snapWriter) str(s string) {
+	w.uvarint(uint64(len(s)))
+	w.buf.WriteString(s)
+}
+
+func (w *snapWriter) f64(v float64) {
+	binary.LittleEndian.PutUint64(w.tmp[:8], math.Float64bits(v))
+	w.buf.Write(w.tmp[:8])
+}
+
+func (w *snapWriter) strs(ss []string) {
+	w.uvarint(uint64(len(ss)))
+	for _, s := range ss {
+		w.str(s)
+	}
+}
+
+// int32Lists writes a run of int32 lists as all lengths (varints), padding
+// to 4-byte file alignment, then every element as one contiguous block of
+// fixed-width little-endian words. Posting and doc-gram runs hold hundreds
+// of thousands of elements; the contiguous aligned block lets Load alias
+// them straight out of the snapshot bytes instead of decoding per element.
+func (w *snapWriter) int32Lists(lists [][]int32) {
+	total := 0
+	for _, xs := range lists {
+		total += len(xs)
+	}
+	w.uvarint(uint64(total))
+	for _, xs := range lists {
+		w.uvarint(uint64(len(xs)))
+	}
+	w.pad4()
+	for _, xs := range lists {
+		for _, x := range xs {
+			binary.LittleEndian.PutUint32(w.tmp[:4], uint32(x))
+			w.buf.Write(w.tmp[:4])
+		}
+	}
+}
+
+// pad4 zero-pads so the next byte lands on a 4-byte boundary of the final
+// file (the 9-byte header precedes the body).
+func (w *snapWriter) pad4() {
+	for (snapshotHeaderLen+w.buf.Len())%4 != 0 {
+		w.buf.WriteByte(0)
+	}
+}
+
+func (w *snapWriter) bitmap(bs []bool) {
+	for i := 0; i < len(bs); i += 8 {
+		var b byte
+		for j := 0; j < 8 && i+j < len(bs); j++ {
+			if bs[i+j] {
+				b |= 1 << j
+			}
+		}
+		w.buf.WriteByte(b)
+	}
+}
+
+// encodeBody serializes the table under the caller's read lock.
+func (t *Table) encodeBody() []byte {
+	w := &snapWriter{}
+	w.str(string(t.progJSON))
+	w.uvarint(uint64(t.rowWidth))
+
+	w.uvarint(uint64(t.tix.Segments()))
+	for si := 0; si < t.tix.Segments(); si++ {
+		seg := t.tix.Segment(si)
+		pl := t.segs[si]
+		n := seg.Len()
+		w.uvarint(uint64(n))
+		vocab, postings, docGrams := seg.Parts()
+		w.strs(vocab)
+		w.uvarint(uint64(len(postings)))
+		w.int32Lists(postings)
+		w.int32Lists(docGrams)
+		w.bitmap(t.tix.SegmentAlive(si))
+		for i := 0; i < n; i++ {
+			for _, cell := range pl.rows[i] {
+				w.str(cell)
+			}
+		}
+		for j := range t.cols {
+			corpus := t.cols[j].corpus
+			totalToks := 0
+			for i := 0; i < n; i++ {
+				parts := corpus.Parts(pl.profs[j][i])
+				for pi := range parts.CountSet {
+					for ti := range parts.CountSet[pi] {
+						if parts.CountSet[pi][ti] {
+							totalToks += len(parts.Counts[pi][ti].Tokens)
+						}
+					}
+				}
+			}
+			w.uvarint(uint64(totalToks))
+			for i := 0; i < n; i++ {
+				// Each profile is length-prefixed so Load can verify it was
+				// consumed exactly and fail before any cross-profile smearing.
+				// The prefix is fixed-width and backpatched after the write:
+				// a varint's width would depend on the profile's length, which
+				// depends on the alignment padding, which depends on the
+				// prefix's width.
+				off := w.buf.Len()
+				w.buf.Write([]byte{0, 0, 0, 0})
+				w.profile(corpus, pl.profs[j][i])
+				binary.LittleEndian.PutUint32(w.buf.Bytes()[off:off+4], uint32(w.buf.Len()-off-4))
+			}
+		}
+		if t.hasRules {
+			totalWords := 0
+			for i := 0; i < n; i++ {
+				totalWords += len(pl.words[i])
+			}
+			w.uvarint(uint64(totalWords))
+			for i := 0; i < n; i++ {
+				w.strs(pl.words[i])
+			}
+		}
+	}
+
+	// IDF statistics over every live row (segments and delta), stored
+	// directly: restoring a df table is one map insert per distinct corpus
+	// token, far cheaper than replaying AddDocTokens over every document.
+	// Entries are token-sorted so snapshots stay byte-deterministic.
+	for j := range t.cols {
+		for _, st := range t.cols[j].stats {
+			w.uvarint(uint64(st.Docs()))
+			toks, dfs := st.SortedEntries()
+			w.uvarint(uint64(len(toks)))
+			for i, tok := range toks {
+				w.str(tok)
+				w.uvarint(uint64(dfs[i]))
+			}
+		}
+	}
+
+	// Live delta rows, replayed through Add at load.
+	live := 0
+	for i := 0; i < t.tix.DeltaRows(); i++ {
+		if t.tix.DeltaAlive(i) {
+			live++
+		}
+	}
+	w.uvarint(uint64(live))
+	for i := 0; i < t.tix.DeltaRows(); i++ {
+		if !t.tix.DeltaAlive(i) {
+			continue
+		}
+		for _, cell := range t.delta.rows[i] {
+			w.str(cell)
+		}
+	}
+	return w.buf.Bytes()
+}
+
+// profile serializes the representation-need-guided parts of one count
+// profile. Raw is not stored (it equals the cell); proc strings,
+// embeddings, and count vectors are, because recomputing them is the bulk
+// of compile cost.
+func (w *snapWriter) profile(corpus *config.Corpus, p *config.Profile) {
+	parts := corpus.Parts(p)
+	for pi := range parts.ProcSet {
+		if !parts.ProcSet[pi] {
+			continue
+		}
+		w.str(parts.Proc[pi])
+		if parts.EmbSet[pi] {
+			for _, v := range parts.Emb[pi] {
+				w.f64(v)
+			}
+		}
+		for ti := range parts.CountSet[pi] {
+			if !parts.CountSet[pi][ti] {
+				continue
+			}
+			vec := parts.Counts[pi][ti]
+			w.strs(vec.Tokens)
+			// Sum and Norm are stored rather than recomputed at load — the
+			// saved table's exact bits. The counts themselves stay varints:
+			// they are whole numbers by construction and almost always one
+			// byte, and the smaller file beats an aliasable fixed-width block
+			// on the boot path (checksum and page-in touch every byte).
+			w.f64(vec.Sum)
+			w.f64(vec.Norm)
+			for _, c := range vec.W {
+				w.uvarint(uint64(c))
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+
+type snapReader struct {
+	blob string
+	pos  int
+	err  error
+}
+
+func (r *snapReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("core: invalid snapshot at byte %d: "+format, append([]any{r.pos}, args...)...)
+	}
+}
+
+func (r *snapReader) remaining() int { return len(r.blob) - r.pos }
+
+// uvarint decodes in place over the blob string: the obvious
+// binary.Uvarint([]byte(...)) costs one tiny heap allocation per call,
+// which would dominate snapshot load time (it runs once per token count
+// and string length). The single-byte case — almost every value — is kept
+// small enough to inline into the hot decode loops.
+func (r *snapReader) uvarint() uint64 {
+	if r.err == nil && r.pos < len(r.blob) {
+		if b := r.blob[r.pos]; b < 0x80 {
+			r.pos++
+			return uint64(b)
+		}
+	}
+	return r.uvarintSlow()
+}
+
+func (r *snapReader) uvarintSlow() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	var x uint64
+	var s uint
+	for i := r.pos; i < len(r.blob); i++ {
+		b := r.blob[i]
+		if b < 0x80 {
+			if i-r.pos == binary.MaxVarintLen64-1 && b > 1 {
+				r.fail("bad varint")
+				return 0
+			}
+			r.pos = i + 1
+			return x | uint64(b)<<s
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+		if s >= 64 {
+			r.fail("bad varint")
+			return 0
+		}
+	}
+	r.fail("bad varint")
+	return 0
+}
+
+// count reads a length-prefix and validates it against the remaining bytes
+// assuming each element costs at least per bytes — so a corrupted length
+// can never drive a huge allocation. The cheap whole-remainder bound
+// settles almost every call; the exact per-element division only runs on
+// values near the end of the data.
+func (r *snapReader) count(per int) int {
+	x := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if x > uint64(r.remaining()) || (per > 1 && x > uint64(r.remaining()/per+1)) {
+		r.fail("count %d larger than remaining data", x)
+		return 0
+	}
+	return int(x)
+}
+
+// str returns the next length-prefixed string as a substring of the blob.
+// The one-byte-length in-bounds case — nearly every token and cell — is
+// small enough to inline at the call sites.
+func (r *snapReader) str() string {
+	if r.err == nil && r.pos < len(r.blob) {
+		if b := r.blob[r.pos]; b < 0x80 && int(b) <= len(r.blob)-r.pos-1 {
+			s := r.blob[r.pos+1 : r.pos+1+int(b)]
+			r.pos += 1 + int(b)
+			return s
+		}
+	}
+	return r.strSlow()
+}
+
+func (r *snapReader) strSlow() string {
+	n := r.count(1)
+	if r.err != nil {
+		return ""
+	}
+	if n > r.remaining() {
+		r.fail("string of %d bytes overruns data", n)
+		return ""
+	}
+	s := r.blob[r.pos : r.pos+n]
+	r.pos += n
+	return s
+}
+
+// u32 reads a fixed-width little-endian uint32 (the backpatched profile
+// length prefix).
+func (r *snapReader) u32() int {
+	if r.err != nil {
+		return 0
+	}
+	if r.remaining() < 4 {
+		r.fail("truncated length prefix")
+		return 0
+	}
+	v := uint32(r.blob[r.pos]) | uint32(r.blob[r.pos+1])<<8 |
+		uint32(r.blob[r.pos+2])<<16 | uint32(r.blob[r.pos+3])<<24
+	r.pos += 4
+	return int(v)
+}
+
+func (r *snapReader) f64() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.remaining() < 8 {
+		r.fail("truncated float")
+		return 0
+	}
+	// In-place unrolled LE decode; []byte(...) would allocate, and the
+	// compiler fuses the byte loads into one 8-byte load.
+	b := r.blob[r.pos : r.pos+8]
+	u := uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+	r.pos += 8
+	return math.Float64frombits(u)
+}
+
+func (r *snapReader) strs() []string {
+	n := r.count(1)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = r.str()
+	}
+	return out
+}
+
+// hostLittleEndian reports whether fixed-width little-endian words can be
+// read back by reinterpreting memory directly.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// int32Lists decodes a run of nlists int32 lists written by
+// snapWriter.int32Lists: the element total, every list length, alignment
+// padding, then one contiguous block of little-endian words. On
+// little-endian hosts with the block 4-aligned in memory — the normal case,
+// since the writer pads to file alignment and the blob is a fresh
+// allocation — the elements are aliased straight out of the snapshot bytes:
+// the table pins the blob anyway (its rows and tokens are substrings of
+// it), and segments never mutate their lists. Other hosts copy the block
+// out element by element.
+func (r *snapReader) int32Lists(nlists int) [][]int32 {
+	total := r.count(4)
+	if r.err != nil {
+		return nil
+	}
+	lists := make([][]int32, nlists)
+	lens := make([]int, nlists)
+	sum := 0
+	for i := range lens {
+		ln := r.uvarint()
+		if r.err != nil {
+			return nil
+		}
+		if ln > uint64(total-sum) {
+			r.fail("int32 list lengths exceed the declared total %d", total)
+			return nil
+		}
+		lens[i] = int(ln)
+		sum += int(ln)
+	}
+	if sum != total {
+		r.fail("int32 list lengths sum to %d, want %d", sum, total)
+		return nil
+	}
+	if pad := (4 - r.pos%4) % 4; pad > 0 {
+		if pad > r.remaining() {
+			r.fail("truncated int32 block padding")
+			return nil
+		}
+		r.pos += pad
+	}
+	if 4*total > r.remaining() {
+		r.fail("int32 block of %d elements overruns data", total)
+		return nil
+	}
+	var view []int32
+	if p := unsafe.Add(unsafe.Pointer(unsafe.StringData(r.blob)), r.pos); hostLittleEndian && uintptr(p)%4 == 0 && total > 0 {
+		view = unsafe.Slice((*int32)(p), total)
+	} else if total > 0 {
+		view = make([]int32, total)
+		b := r.blob[r.pos : r.pos+4*total]
+		for i := range view {
+			view[i] = int32(uint32(b[4*i]) | uint32(b[4*i+1])<<8 | uint32(b[4*i+2])<<16 | uint32(b[4*i+3])<<24)
+		}
+	}
+	r.pos += 4 * total
+	off := 0
+	for i, ln := range lens {
+		if ln > 0 {
+			lists[i] = view[off : off+ln : off+ln]
+			off += ln
+		}
+	}
+	return lists
+}
+
+// strsArena is the string-list analogue of int32sArena.
+func (r *snapReader) strsArena(arena *[]string) []string {
+	n := r.count(1)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	if n > len(*arena) {
+		r.fail("string list of %d exceeds the declared element total", n)
+		return nil
+	}
+	out := (*arena)[:n:n]
+	*arena = (*arena)[n:]
+	for i := range out {
+		out[i] = r.str()
+	}
+	return out
+}
+
+func (r *snapReader) bitmap(n int) []bool {
+	if r.err != nil {
+		return nil
+	}
+	nb := (n + 7) / 8
+	if r.remaining() < nb {
+		r.fail("truncated bitmap")
+		return nil
+	}
+	out := make([]bool, n)
+	for i := range out {
+		out[i] = r.blob[r.pos+i/8]&(1<<(i%8)) != 0
+	}
+	r.pos += nb
+	return out
+}
+
+// decodeBody decodes a full snapshot (header included, already verified);
+// positions in error messages are absolute file offsets.
+func decodeBody(blob string, opt Options) (*Table, error) {
+	r := &snapReader{blob: blob, pos: snapshotHeaderLen}
+	progJSON := r.str()
+	if r.err != nil {
+		return nil, r.err
+	}
+	prog, err := DecodeProgram([]byte(progJSON))
+	if err != nil {
+		return nil, fmt.Errorf("core: snapshot program: %w", err)
+	}
+	width := int(r.uvarint())
+	if r.err != nil {
+		return nil, r.err
+	}
+	if width < 1 || width > 1<<20 {
+		return nil, fmt.Errorf("core: snapshot row width %d out of range", width)
+	}
+	t, err := prog.NewTable(width, nil, opt)
+	if err != nil {
+		return nil, fmt.Errorf("core: snapshot program does not compile: %w", err)
+	}
+
+	nseg := r.count(8)
+	for si := 0; si < nseg && r.err == nil; si++ {
+		if err := t.decodeSegment(r); err != nil {
+			return nil, err
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	segLive := t.tix.Len()
+
+	// The serialized IDF statistics cover every live row, delta included, so
+	// they are read here but installed only after the delta replay below —
+	// installing first would let Add double-count the delta documents.
+	type loadedStats struct {
+		docs   int
+		tokens []string
+		dfs    []int
+	}
+	stats := make([]loadedStats, 0, len(t.cols)*len(t.reps))
+	for j := 0; j < len(t.cols) && r.err == nil; j++ {
+		for range t.reps {
+			// docs counts documents, not bytes, so it is not bounded by the
+			// remaining data; validate its range directly.
+			docs := r.uvarint()
+			if r.err == nil && docs > 1<<40 {
+				return nil, fmt.Errorf("core: invalid snapshot: document count %d out of range", docs)
+			}
+			nent := r.count(2)
+			ls := loadedStats{docs: int(docs), tokens: make([]string, nent), dfs: make([]int, nent)}
+			prev := ""
+			for i := 0; i < nent && r.err == nil; i++ {
+				tok := r.str()
+				df := r.uvarint()
+				if r.err != nil {
+					break
+				}
+				if i > 0 && tok <= prev {
+					return nil, fmt.Errorf("core: invalid snapshot: df tokens out of order")
+				}
+				prev = tok
+				if df < 1 || df > docs {
+					return nil, fmt.Errorf("core: invalid snapshot: df %d out of range for %d documents", df, docs)
+				}
+				ls.tokens[i] = tok
+				ls.dfs[i] = int(df)
+			}
+			stats = append(stats, ls)
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+
+	ndelta := r.count(2)
+	deltaRows := make([][]string, 0, ndelta)
+	for i := 0; i < ndelta && r.err == nil; i++ {
+		row := make([]string, width)
+		for c := range row {
+			row[c] = r.str()
+		}
+		deltaRows = append(deltaRows, row)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("core: snapshot has %d trailing bytes", r.remaining())
+	}
+	for _, ls := range stats {
+		if ls.docs != segLive+ndelta {
+			return nil, fmt.Errorf("core: invalid snapshot: statistics cover %d documents, table has %d live rows",
+				ls.docs, segLive+ndelta)
+		}
+	}
+	if len(deltaRows) > 0 {
+		if _, err := t.Add(deltaRows); err != nil {
+			return nil, fmt.Errorf("core: snapshot delta: %w", err)
+		}
+	}
+	si := 0
+	for j := range t.cols {
+		col := &t.cols[j]
+		for ri, rep := range t.reps {
+			ls := stats[si]
+			si++
+			st := weights.NewRestoredStats(ls.docs, ls.tokens, ls.dfs)
+			col.stats[ri] = st
+			col.corpus.SetStats(rep.Pre, rep.Tok, st)
+		}
+	}
+	t.gen.Store(1)
+	return t, nil
+}
+
+// profileChunk bounds the Profile arena allocated ahead of decoding: a
+// corrupted row count can cost at most one chunk of wasted memory before
+// the first bad profile fails the load.
+const profileChunk = 4096
+
+// decodeSegment reads one compiled segment with its payload and attaches
+// both to the (load-phase, unshared) table.
+//
+// Decoding is allocation-frugal on purpose: the serialized totals let
+// every posting list, doc-gram list, token slice, and weight slice be
+// carved out of one arena per kind, and profiles land in chunked arenas
+// instead of one heap object each. Per-object allocation (and the GC
+// traffic it causes) dominated load time before this; the arenas are
+// what keeps snapshot boot far cheaper than a recompile.
+func (t *Table) decodeSegment(r *snapReader) error {
+	n := r.count(2)
+	vocab := r.strs()
+	npost := r.count(1)
+	if r.err != nil {
+		return r.err
+	}
+	if npost != len(vocab) {
+		return fmt.Errorf("core: invalid snapshot: %d posting lists for %d grams", npost, len(vocab))
+	}
+	postings := r.int32Lists(npost)
+	docGrams := r.int32Lists(n)
+	alive := r.bitmap(n)
+	if r.err != nil {
+		return r.err
+	}
+	seg, err := blocking.NewSegmentFromParts(n, vocab, postings, docGrams)
+	if err != nil {
+		return fmt.Errorf("core: invalid snapshot: %w", err)
+	}
+
+	pl := newPayload(len(t.cols))
+	pl.rows = make([][]string, n)
+	pl.keys = make([]string, n)
+	for j := range t.cols {
+		pl.cells[j] = make([]string, n)
+		pl.profs[j] = make([]*config.Profile, n)
+	}
+	if cells := n * t.rowWidth; cells > r.remaining() {
+		// Every cell costs at least its one length byte, so a row count the
+		// data cannot back fails here, before the arena allocation.
+		r.fail("%d row cells overrun data", cells)
+		return r.err
+	}
+	cellArena := make([]string, n*t.rowWidth)
+	for i := 0; i < n; i++ {
+		row := cellArena[:t.rowWidth:t.rowWidth]
+		cellArena = cellArena[t.rowWidth:]
+		for c := range row {
+			row[c] = r.str()
+		}
+		pl.rows[i] = row
+		pl.keys[i] = t.keyOf(row)
+		for j := range t.cols {
+			pl.cells[j][i] = t.cellOf(row, j)
+		}
+	}
+	for j := range t.cols {
+		corpus := t.cols[j].corpus
+		totalToks := r.count(1)
+		if r.err != nil {
+			return r.err
+		}
+		tokArena := make([]string, totalToks)
+		wArena := make([]float64, totalToks)
+		var parts config.ProfileParts
+		nPairs := 0
+		for pi := range parts.ProcSet {
+			if !corpus.NeedProc(textproc.Option(pi)) {
+				continue
+			}
+			for ti := range parts.CountSet[pi] {
+				if corpus.NeedCounts(textproc.Option(pi), tokenize.Option(ti)) {
+					nPairs++
+				}
+			}
+		}
+		vecArena := make([]config.VecBlock, nPairs*n)
+		var chunk []config.Profile
+		// parts is reused across profiles without clearing: the corpus's
+		// representation needs are fixed, so exactly the same slots are
+		// overwritten on every call and stale state cannot leak through.
+		for i := 0; i < n; i++ {
+			ln := r.u32()
+			if r.err != nil {
+				return r.err
+			}
+			end := r.pos + ln
+			if len(chunk) == 0 {
+				chunk = make([]config.Profile, min(profileChunk, n-i))
+			}
+			dst := &chunk[0]
+			chunk = chunk[1:]
+			if err := r.profile(corpus, pl.cells[j][i], dst, &parts, &tokArena, &wArena, &vecArena); err != nil {
+				return err
+			}
+			if r.pos != end {
+				return fmt.Errorf("core: invalid snapshot: profile length prefix off by %d bytes", end-r.pos)
+			}
+			pl.profs[j][i] = dst
+		}
+	}
+	if t.hasRules {
+		wordsArena := make([]string, r.count(1))
+		pl.words = make([][]string, n)
+		for i := 0; i < n; i++ {
+			pl.words[i] = r.strsArena(&wordsArena)
+		}
+	}
+	if r.err != nil {
+		return r.err
+	}
+
+	t.tix.AttachSegment(seg, alive, true)
+	t.segs = append(t.segs, pl)
+	t.k = blocking.K(t.tix.Len(), t.beta)
+	t.growBalls()
+	return nil
+}
+
+// profile decodes one count profile into dst (a zeroed arena slot),
+// slicing token and weight storage off the shared arenas. Sum and Norm of
+// each count vector carry the saved table's exact bits; token sortedness
+// and count positivity are validated so a corrupted snapshot cannot
+// smuggle in a vector the distance kernels would misbehave on. parts is
+// caller-owned scratch.
+func (r *snapReader) profile(corpus *config.Corpus, cell string, dst *config.Profile, parts *config.ProfileParts, tokArena *[]string, wArena *[]float64, vecArena *[]config.VecBlock) error {
+	parts.Raw = cell
+	for pi := range parts.ProcSet {
+		pre := textproc.Option(pi)
+		if !corpus.NeedProc(pre) {
+			continue
+		}
+		parts.Proc[pi] = r.str()
+		parts.ProcSet[pi] = true
+		if corpus.NeedEmb(pre) {
+			for d := range parts.Emb[pi] {
+				parts.Emb[pi][d] = r.f64()
+			}
+			parts.EmbSet[pi] = true
+		}
+		for ti := range parts.CountSet[pi] {
+			if !corpus.NeedCounts(pre, tokenize.Option(ti)) {
+				continue
+			}
+			tokens := r.strsArena(tokArena)
+			if r.err != nil {
+				return r.err
+			}
+			sum := r.f64()
+			norm := r.f64()
+			if len(tokens) > len(*wArena) {
+				r.fail("count vector exceeds the declared token total")
+				return r.err
+			}
+			ws := (*wArena)[:len(tokens):len(tokens)]
+			*wArena = (*wArena)[len(tokens):]
+			prev := ""
+			for i := range tokens {
+				c := r.uvarint()
+				if r.err != nil {
+					return r.err
+				}
+				if c == 0 || c > 1<<32 {
+					return fmt.Errorf("core: invalid snapshot: token count %d out of range", c)
+				}
+				if i > 0 && tokens[i] <= prev {
+					return fmt.Errorf("core: invalid snapshot: count vector tokens out of order")
+				}
+				prev = tokens[i]
+				ws[i] = float64(c)
+			}
+			parts.Counts[pi][ti] = distance.Sparse{
+				Tokens: tokens,
+				W:      ws,
+				Sum:    sum,
+				Norm:   norm,
+			}
+			parts.CountSet[pi][ti] = true
+		}
+	}
+	if r.err != nil {
+		return r.err
+	}
+	config.FillProfileFromParts(dst, parts, vecArena)
+	return nil
+}
+
+// embedDim guards against a mismatch between the snapshot format and the
+// embedding dimension at compile time.
+var _ [embed.Dim]float64 = embed.Vector{}

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// snapshotTable builds a table with segments, tombstones, AND live delta
+// rows, so round-trip tests cover every storage region of the format.
+func snapshotTable(t *testing.T) (*Program, *Table, [][]string) {
+	t.Helper()
+	L, R := makeTask(t, 53, 3)
+	prog := tableTestProgram()
+	tab, err := prog.NewTable(1, toRows(L[:120]), Options{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.Remove([]int{2, 50, 119}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.Add(toRows(L[120:140])); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.Compact(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Leave a live delta with a tombstone in it.
+	if _, err := tab.Add(toRows(L[140:150])); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.Remove([]int{tab.Len() - 5}); err != nil {
+		t.Fatal(err)
+	}
+	return prog, tab, toRows(R)
+}
+
+// TestSnapshotRoundTrip: Save -> Load reproduces the table bit-identically
+// — same rows, same answers as the original AND as the full-compile
+// oracle — and keeps serving mutations afterwards.
+func TestSnapshotRoundTrip(t *testing.T) {
+	prog, tab, queries := snapshotTable(t)
+	var buf bytes.Buffer
+	if err := tab.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadTable(buf.Bytes(), Options{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != tab.Len() || loaded.RowWidth() != tab.RowWidth() {
+		t.Fatalf("loaded %d rows width %d, want %d width %d",
+			loaded.Len(), loaded.RowWidth(), tab.Len(), tab.RowWidth())
+	}
+	if loaded.Generation() != 1 {
+		t.Fatalf("loaded table starts at generation %d, want 1", loaded.Generation())
+	}
+	origRows, loadRows := tab.Rows(), loaded.Rows()
+	for i := range origRows {
+		for c := range origRows[i] {
+			if origRows[i][c] != loadRows[i][c] {
+				t.Fatalf("row %d cell %d differs after round trip", i, c)
+			}
+		}
+	}
+	want, err := tab.MatchRows(context.Background(), queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.MatchRows(context.Background(), queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("query %d differs after round trip: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+	expectOracle(t, prog, loaded, queries, "loaded snapshot")
+
+	// The loaded table keeps full mutability.
+	if _, err := loaded.Add(toRows([]string{"fresh row after load"})); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loaded.Compact(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	expectOracle(t, prog, loaded, queries, "loaded snapshot after churn")
+}
+
+// TestSnapshotSaveFile: the file form round-trips and replaces atomically.
+func TestSnapshotSaveFile(t *testing.T) {
+	_, tab, queries := snapshotTable(t)
+	path := filepath.Join(t.TempDir(), "table.afjs")
+	if err := tab.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatal("temp file left behind")
+	}
+	loaded, err := LoadTableFile(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := tab.MatchRows(context.Background(), queries[:3])
+	got, _ := loaded.MatchRows(context.Background(), queries[:3])
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("query %d differs via file round trip", i)
+		}
+	}
+}
+
+// TestSnapshotRejectsCorrupt: truncations, flipped bits, bad magic, and
+// future versions all yield descriptive errors — never a panic, never a
+// silently wrong table.
+func TestSnapshotRejectsCorrupt(t *testing.T) {
+	_, tab, _ := snapshotTable(t)
+	var buf bytes.Buffer
+	if err := tab.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	if _, err := LoadTable(valid, Options{}); err != nil {
+		t.Fatalf("valid snapshot rejected: %v", err)
+	}
+
+	load := func(data []byte) error {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("LoadTable panicked: %v", r)
+			}
+		}()
+		_, err := LoadTable(data, Options{})
+		return err
+	}
+
+	// Truncations at every region boundary and a sweep of prefixes.
+	for _, n := range []int{0, 3, 8, 9, 12, len(valid) / 4, len(valid) / 2, len(valid) - 1} {
+		if err := load(valid[:n]); err == nil {
+			t.Errorf("truncation to %d bytes accepted", n)
+		}
+	}
+	// Bad magic.
+	bad := append([]byte(nil), valid...)
+	bad[0] = 'X'
+	if err := load(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Future version.
+	bad = append([]byte(nil), valid...)
+	bad[4] = snapshotVersion + 1
+	if err := load(bad); err == nil {
+		t.Error("future version accepted")
+	}
+	// Body corruption must trip the checksum, wherever it lands.
+	for _, off := range []int{16, 64, len(valid)/2 + 3, len(valid) - 2} {
+		bad = append([]byte(nil), valid...)
+		bad[off] ^= 0x40
+		if err := load(bad); err == nil {
+			t.Errorf("flipped bit at %d accepted", off)
+		}
+	}
+	// Trailing garbage changes the checksummed body, so it must fail too.
+	if err := load(append(append([]byte(nil), valid...), 0, 1, 2)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+}
+
+// FuzzLoadTable: the decoder must never panic, whatever bytes arrive. The
+// corpus seeds a real snapshot plus adversarial prefixes so the fuzzer
+// starts past the checksum and digs into the structured decoding.
+func FuzzLoadTable(f *testing.F) {
+	prog := tableTestProgram()
+	tab, err := prog.NewTable(1, toRows([]string{
+		"2008 lsu tigers football team",
+		"2009 lsu tigers baseball team",
+		"2008 wisconsin badgers football team",
+	}), Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	if _, err := tab.Add(toRows([]string{"2010 oregon ducks football team"})); err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tab.Save(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:9])
+	f.Add([]byte("AFJS"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tab, err := LoadTable(data, Options{})
+		if err != nil {
+			return
+		}
+		// The rare mutant that passes the checksum must still be a coherent,
+		// queryable table.
+		if _, _, err := tab.Match(context.Background(), "lsu tigers football"); err != nil {
+			t.Fatalf("loaded table cannot serve: %v", err)
+		}
+	})
+}

@@ -1,0 +1,990 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/blocking"
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/config"
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/negrule"
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/parallel"
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/weights"
+)
+
+// Table is a join program compiled against a MUTABLE reference table: an
+// ordered list of immutable compiled segments plus a small mutable delta,
+// behind the same Match/MatchBatch/MatchStream API as the frozen Matcher.
+// Add and Remove cost is proportional to the delta and the touched rows —
+// not |L| — and background Compact seals the delta into a new segment off
+// the serving path, swapping it in atomically.
+//
+// Every query is BIT-IDENTICAL to what a full recompile (Program.Compile /
+// CompileMultiColumn) of the current live rows would answer:
+//
+//   - blocking merges per-segment top-k streams with a brute-force delta
+//     scan under globally maintained gram df counts (see blocking.TableIndex);
+//   - token IDF statistics are maintained incrementally (integer df/doc
+//     counts, so they equal the batch-built statistics exactly), and rows
+//     are stored as statistics-independent COUNT profiles whose IDF view
+//     is derived per candidate in the same floating-point order a fresh
+//     profile build uses;
+//   - the 2θ-ball precision denominators run over the same merged top-k
+//     candidates, cached per (configuration, row) and tagged with the
+//     statistics generation so no mutation can leak a stale count.
+//
+// Concurrency: queries take a read lock for their whole (batch) duration;
+// Add/Remove/compaction swaps take the write lock. The generation counter
+// bumps on EVERY visible mutation (add, remove, compaction swap) before
+// the lock is released, so cache layers keyed on (generation, query) can
+// never serve a stale table. The statistics generation backing the ball
+// cache is 32-bit and wraps after ~4 billion mutations; a wrapped tag
+// could in principle revive a stale cached count, which we accept.
+type Table struct {
+	progJSON []byte
+	configs  []Configuration
+	columns  []int
+	weights  []float64
+	space    []config.JoinFunction
+	reps     []config.Rep
+	eval     *config.Evaluator
+	rules    *negrule.Frozen
+
+	mu    sync.RWMutex
+	tix   *blocking.TableIndex
+	segs  []*tablePayload
+	delta *tablePayload
+	cols  []tableCol
+	balls []atomic.Uint64 // packed statsGen<<32 | count, by ci*ballStride+dense
+
+	gen atomic.Uint64
+
+	pool sync.Pool // *tableScratch
+
+	beta        float64
+	ballFactor  float64
+	rowWidth    int
+	parallelism int
+	k           int
+	ballStride  int
+	statsGen    uint32
+	multi       bool
+	reweight    bool
+	hasRules    bool
+	compacting  bool
+}
+
+// tableCol is the per-program-column statistics state: the corpus shell
+// that builds query profiles, and the mutable IDF statistics (one per
+// representation pair the space weights by IDF) installed into it.
+type tableCol struct {
+	corpus *config.Corpus
+	stats  []*weights.Stats
+}
+
+// tablePayload stores the row-level compiled state of one segment (frozen)
+// or of the delta (append-only between compactions): the full rows, their
+// blocking keys, per-program-column cells and count profiles, and the
+// negative-rule word sets. Slices only grow; row contents are immutable,
+// so read-locked queries may hold references across mutations.
+type tablePayload struct {
+	rows  [][]string
+	keys  []string
+	cells [][]string          // [program column][row]
+	profs [][]*config.Profile // [program column][row]
+	words [][]string          // nil when the program has no negative rules
+}
+
+func newPayload(ncols int) *tablePayload {
+	return &tablePayload{
+		cells: make([][]string, ncols),
+		profs: make([][]*config.Profile, ncols),
+	}
+}
+
+// prefix returns a frozen view of the first m rows (capacity-capped, so
+// later appends to the parent can never write into it).
+func (pl *tablePayload) prefix(m int) *tablePayload {
+	np := &tablePayload{
+		rows:  pl.rows[:m:m],
+		keys:  pl.keys[:m:m],
+		cells: make([][]string, len(pl.cells)),
+		profs: make([][]*config.Profile, len(pl.profs)),
+	}
+	for j := range pl.cells {
+		np.cells[j] = pl.cells[j][:m:m]
+		np.profs[j] = pl.profs[j][:m:m]
+	}
+	if pl.words != nil {
+		np.words = pl.words[:m:m]
+	}
+	return np
+}
+
+// tail returns a fresh payload holding the rows from m on.
+func (pl *tablePayload) tail(m int) *tablePayload {
+	np := &tablePayload{
+		rows:  append([][]string(nil), pl.rows[m:]...),
+		keys:  append([]string(nil), pl.keys[m:]...),
+		cells: make([][]string, len(pl.cells)),
+		profs: make([][]*config.Profile, len(pl.profs)),
+	}
+	for j := range pl.cells {
+		np.cells[j] = append([]string(nil), pl.cells[j][m:]...)
+		np.profs[j] = append([]*config.Profile(nil), pl.profs[j][m:]...)
+	}
+	if pl.words != nil {
+		np.words = append([][]string(nil), pl.words[m:]...)
+	}
+	return np
+}
+
+// tableScratch is the reusable per-call query state.
+type tableScratch struct {
+	//autofj:keep persistent blocking sub-scratch; holds only capacity and generation stamps, never query data
+	sc        *blocking.TableScratch
+	cands     []blocking.Candidate
+	ballCands []blocking.Candidate
+	ids       []int32
+	qprof     []*config.Profile
+	qcells    []string
+	qwords    []string
+	//autofj:keep persistent distance-kernel sub-scratch; rows are overwritten per pair and hold no references
+	esc *config.EvalScratch
+	//autofj:keep persistent reweight buffers; released on put, numeric buffers hold no references
+	rwa config.ReweightScratch
+	//autofj:keep persistent reweight buffers; released on put, numeric buffers hold no references
+	rwb   config.ReweightScratch
+	drow  []float64
+	crow  []float64
+	bestD []float64
+	bestL []int32
+}
+
+const (
+	// maxTableSegments triggers a full rebuild when minor compactions have
+	// piled up too many segments for the merge to stay cheap.
+	maxTableSegments = 8
+	// minMajorGarbage is the minimum number of tombstoned rows before a
+	// dead-fraction-triggered full rebuild is worth it.
+	minMajorGarbage = 32
+)
+
+// NewTable compiles a mutable serving table for the program. width is the
+// row arity: 1 for single-column programs (each row is its single key
+// cell), the reference table's column count for multi-column programs.
+// Every row must have exactly width cells; rows are copied, so callers may
+// reuse their slices.
+func (p *Program) NewTable(width int, rows [][]string, opt Options) (*Table, error) {
+	configs, err := p.configurations()
+	if err != nil {
+		return nil, err
+	}
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	multi := len(p.Columns) > 0
+	if multi && len(p.Columns) != len(p.Weights) {
+		return nil, errors.New("core: multi-column program has mismatched columns and weights")
+	}
+	if !multi && width != 1 {
+		return nil, fmt.Errorf("core: single-column program wants width 1, got %d", width)
+	}
+	if width < 1 {
+		return nil, fmt.Errorf("core: table width %d out of range", width)
+	}
+	for _, c := range p.Columns {
+		if c < 0 || c >= width {
+			return nil, fmt.Errorf("core: program column %d out of range for width %d", c, width)
+		}
+	}
+	for i, row := range rows {
+		if len(row) != width {
+			return nil, fmt.Errorf("core: row %d has %d cells, want %d", i, len(row), width)
+		}
+	}
+	progJSON, err := p.Encode()
+	if err != nil {
+		return nil, err
+	}
+
+	beta := p.BlockingBeta
+	if beta <= 0 {
+		beta = DefaultBlockingBeta
+	}
+	factor := p.BallRadiusFactor
+	if factor <= 0 {
+		factor = opt.BallRadiusFactor
+	}
+	if factor <= 0 {
+		factor = 2
+	}
+
+	t := &Table{
+		progJSON:    progJSON,
+		configs:     configs,
+		multi:       multi,
+		columns:     append([]int(nil), p.Columns...),
+		weights:     append([]float64(nil), p.Weights...),
+		rowWidth:    width,
+		beta:        beta,
+		ballFactor:  factor,
+		parallelism: opt.Parallelism,
+	}
+	t.space = make([]config.JoinFunction, len(configs))
+	for i, c := range configs {
+		t.space[i] = c.Function
+	}
+	t.eval = config.NewEvaluator(t.space)
+
+	ncols := 1
+	if multi {
+		ncols = len(p.Columns)
+	}
+	t.cols = make([]tableCol, ncols)
+	for j := range t.cols {
+		corpus := config.NewCorpusShell(t.space)
+		reps := corpus.IDFReps()
+		if j == 0 {
+			t.reps = reps
+			t.reweight = corpus.NeedsReweight()
+		}
+		stats := make([]*weights.Stats, len(reps))
+		for ri, rep := range reps {
+			stats[ri] = weights.NewEmptyStats()
+			corpus.SetStats(rep.Pre, rep.Tok, stats[ri])
+		}
+		t.cols[j] = tableCol{corpus: corpus, stats: stats}
+	}
+	if len(p.NegativeRules) > 0 {
+		t.rules = negrule.FreezeRules(p.NegativeRules)
+		t.hasRules = t.rules.Len() > 0
+	}
+
+	t.tix = blocking.NewTableIndex()
+	t.delta = newPayload(ncols)
+	if len(rows) > 0 {
+		pl := t.buildPayload(rows)
+		seg := blocking.BuildSegment(pl.keys, t.parallelism)
+		alive := make([]bool, len(rows))
+		for i := range alive {
+			alive[i] = true
+		}
+		t.tix.AttachSegment(seg, alive, true)
+		t.segs = append(t.segs, pl)
+		for i := range pl.rows {
+			t.applyStats(pl, i, true)
+		}
+	}
+	t.k = blocking.K(t.tix.Len(), t.beta)
+	t.growBalls()
+	t.gen.Store(1)
+	t.pool.New = func() any {
+		return &tableScratch{
+			sc:     blocking.NewTableScratch(),
+			qprof:  make([]*config.Profile, len(t.cols)),
+			qcells: make([]string, len(t.cols)),
+			esc:    t.eval.NewScratch(),
+			drow:   make([]float64, len(t.configs)),
+			crow:   make([]float64, len(t.configs)),
+			bestD:  make([]float64, len(t.configs)),
+			bestL:  make([]int32, len(t.configs)),
+		}
+	}
+	return t, nil
+}
+
+// keyOf builds the blocking key of a full row.
+func (t *Table) keyOf(row []string) string {
+	if !t.multi {
+		return row[0]
+	}
+	return concatRow(row)
+}
+
+// cellOf selects program column j's cell of a full row.
+func (t *Table) cellOf(row []string, j int) string {
+	if !t.multi {
+		return row[0]
+	}
+	return row[t.columns[j]]
+}
+
+// buildPayload compiles the row-level state of a block of rows, sharded
+// across the table's parallelism. Rows are copied.
+func (t *Table) buildPayload(rows [][]string) *tablePayload {
+	n := len(rows)
+	pl := &tablePayload{
+		rows:  make([][]string, n),
+		keys:  make([]string, n),
+		cells: make([][]string, len(t.cols)),
+		profs: make([][]*config.Profile, len(t.cols)),
+	}
+	for j := range t.cols {
+		pl.cells[j] = make([]string, n)
+		pl.profs[j] = make([]*config.Profile, n)
+	}
+	if t.hasRules {
+		pl.words = make([][]string, n)
+	}
+	parallel.Shard(n, parallel.Workers(t.parallelism, n), func(_, start, end int) {
+		for i := start; i < end; i++ {
+			row := append([]string(nil), rows[i]...)
+			pl.rows[i] = row
+			key := t.keyOf(row)
+			pl.keys[i] = key
+			for j := range t.cols {
+				cell := t.cellOf(row, j)
+				pl.cells[j][i] = cell
+				pl.profs[j][i] = t.cols[j].corpus.CountProfile(cell)
+			}
+			if t.hasRules {
+				pl.words[i] = negrule.AppendWordSet(nil, key)
+			}
+		}
+	})
+	return pl
+}
+
+// applyStats adds (or removes) row i of pl to the per-column IDF
+// statistics. Integer df/doc counts make the incremental statistics equal
+// the batch-built ones exactly.
+func (t *Table) applyStats(pl *tablePayload, i int, add bool) {
+	for j := range t.cols {
+		col := &t.cols[j]
+		for ri, rep := range t.reps {
+			toks := pl.profs[j][i].CountVec(rep.Pre, rep.Tok).Tokens
+			if add {
+				col.stats[ri].AddDocTokens(toks)
+			} else {
+				col.stats[ri].RemoveDocTokens(toks)
+			}
+		}
+	}
+}
+
+// growBalls (re)allocates the ball-count cache when the dense id space has
+// outgrown it. Called under the write lock; entries restart cold.
+func (t *Table) growBalls() {
+	need := t.tix.Len()
+	if need <= t.ballStride && t.balls != nil {
+		return
+	}
+	stride := need + need/2 + 16
+	t.ballStride = stride
+	t.balls = make([]atomic.Uint64, max(len(t.configs), 1)*stride)
+}
+
+// Len returns the number of live reference rows.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.tix.Len()
+}
+
+// RowWidth returns the exact number of cells rows and queries must have.
+func (t *Table) RowWidth() int { return t.rowWidth }
+
+// MultiColumn reports whether queries must arrive as rows (MatchRow)
+// rather than single strings (Match).
+func (t *Table) MultiColumn() bool { return t.multi }
+
+// Program returns the configurations the table serves, in program order.
+func (t *Table) Program() []Configuration {
+	return append([]Configuration(nil), t.configs...)
+}
+
+// Generation returns the mutation generation: it increases on every add,
+// remove, and compaction swap, always before the change is visible to
+// queries. Cache layers key results on (generation, query).
+func (t *Table) Generation() uint64 { return t.gen.Load() }
+
+// DeltaLen returns the number of uncompiled delta slots (tombstoned ones
+// included) — the compaction pressure.
+func (t *Table) DeltaLen() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.tix.DeltaRows()
+}
+
+// SegmentCount returns the number of compiled segments.
+func (t *Table) SegmentCount() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.tix.Segments()
+}
+
+// Rows returns the live reference rows in dense order — the order
+// Match.Left indexes. The row slices are the table's own immutable
+// storage; callers must not mutate them.
+func (t *Table) Rows() [][]string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([][]string, t.tix.Len())
+	for d := range out {
+		pl, local := t.payload(t.tix.Ref(d))
+		out[d] = pl.rows[local]
+	}
+	return out
+}
+
+// Row returns live reference row d (dense order). The slice is immutable
+// shared storage.
+func (t *Table) Row(d int) ([]string, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if d < 0 || d >= t.tix.Len() {
+		return nil, fmt.Errorf("core: row %d out of range [0, %d)", d, t.tix.Len())
+	}
+	pl, local := t.payload(t.tix.Ref(d))
+	return pl.rows[local], nil
+}
+
+// Add appends rows to the reference table (into the mutable delta) and
+// returns the new generation. Each row must have exactly RowWidth cells;
+// rows are copied. Cost is proportional to the added rows, not the table.
+func (t *Table) Add(rows [][]string) (uint64, error) {
+	for i, row := range rows {
+		if len(row) != t.rowWidth {
+			return 0, fmt.Errorf("core: row %d has %d cells, want %d", i, len(row), t.rowWidth)
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, raw := range rows {
+		row := append([]string(nil), raw...)
+		key := t.keyOf(row)
+		t.tix.AddDelta(key)
+		pl := t.delta
+		pl.rows = append(pl.rows, row)
+		pl.keys = append(pl.keys, key)
+		for j := range t.cols {
+			cell := t.cellOf(row, j)
+			prof := t.cols[j].corpus.CountProfile(cell)
+			pl.cells[j] = append(pl.cells[j], cell)
+			pl.profs[j] = append(pl.profs[j], prof)
+		}
+		if t.hasRules {
+			pl.words = append(pl.words, negrule.AppendWordSet(nil, key))
+		}
+		t.applyStats(pl, len(pl.rows)-1, true)
+	}
+	t.k = blocking.K(t.tix.Len(), t.beta)
+	t.statsGen++
+	t.growBalls()
+	return t.gen.Add(1), nil
+}
+
+// Remove tombstones the rows at the given dense indices (as reported by
+// Match.Left against the CURRENT generation) and returns the new
+// generation. Remaining rows are renumbered contiguously, preserving
+// their relative order — exactly the numbering a full recompile of the
+// surviving rows would use.
+func (t *Table) Remove(indices []int) (uint64, error) {
+	if len(indices) == 0 {
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		return t.gen.Load(), nil
+	}
+	sorted := append([]int(nil), indices...)
+	sort.Ints(sorted)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := t.tix.Len()
+	for i, d := range sorted {
+		if d < 0 || d >= n {
+			return 0, fmt.Errorf("core: row %d out of range [0, %d)", d, n)
+		}
+		if i > 0 && sorted[i-1] == d {
+			return 0, fmt.Errorf("core: duplicate row %d in removal", d)
+		}
+	}
+	for _, d := range sorted {
+		pl, local := t.payload(t.tix.Ref(d))
+		t.applyStats(pl, int(local), false)
+		t.tix.RemoveDense(d)
+	}
+	t.tix.Renumber()
+	t.k = blocking.K(t.tix.Len(), t.beta)
+	t.statsGen++
+	return t.gen.Add(1), nil
+}
+
+// Compact seals the current delta into a new compiled segment, building
+// the segment OFF the serving path (queries keep running against the old
+// layout) and swapping it in atomically under the write lock. When the
+// delta is empty but tombstones or segment count have piled up, it instead
+// attempts a full rebuild of the live rows, aborting harmlessly if a
+// mutation lands mid-build. Returns whether a swap happened. At most one
+// compaction runs at a time; concurrent calls return (false, nil).
+//
+// Compaction never changes query results — rows, dense ids, statistics,
+// and candidates are all preserved — but it still bumps the generation,
+// keeping the "every swap bumps" contract simple for cache layers.
+func (t *Table) Compact(ctx context.Context) (bool, error) {
+	t.mu.Lock()
+	if t.compacting {
+		t.mu.Unlock()
+		return false, nil
+	}
+	m := t.tix.DeltaRows()
+	if m == 0 {
+		if !t.needsMajorLocked() {
+			t.mu.Unlock()
+			return false, nil
+		}
+		t.compacting = true
+		t.mu.Unlock()
+		return t.compactMajor(ctx)
+	}
+	t.compacting = true
+	keys := t.delta.keys[:m:m]
+	par := t.parallelism
+	t.mu.Unlock()
+
+	seg := blocking.BuildSegment(keys, par)
+	if err := ctx.Err(); err != nil {
+		t.endCompaction()
+		return false, err
+	}
+
+	t.mu.Lock()
+	t.tix.CompactDelta(m, seg)
+	t.segs = append(t.segs, t.delta.prefix(m))
+	t.delta = t.delta.tail(m)
+	t.compacting = false
+	t.gen.Add(1)
+	needMajor := t.needsMajorLocked()
+	t.mu.Unlock()
+
+	if needMajor {
+		// Fold accumulated segments/tombstones right away; a failed race
+		// just leaves it for the next Compact.
+		t.mu.Lock()
+		if t.compacting {
+			t.mu.Unlock()
+			return true, nil
+		}
+		t.compacting = true
+		t.mu.Unlock()
+		if _, err := t.compactMajor(ctx); err != nil {
+			return true, err
+		}
+	}
+	return true, nil
+}
+
+func (t *Table) endCompaction() {
+	t.mu.Lock()
+	t.compacting = false
+	t.mu.Unlock()
+}
+
+// needsMajorLocked reports whether a full rebuild is worth it: too many
+// segments, or a majority of stored rows are tombstones.
+func (t *Table) needsMajorLocked() bool {
+	stored := t.tix.Stored()
+	if stored == 0 {
+		return false
+	}
+	dead := stored - t.tix.Len()
+	return t.tix.Segments() > maxTableSegments ||
+		(dead >= minMajorGarbage && dead*2 > stored)
+}
+
+// compactMajor rebuilds the whole table as one segment from the live rows.
+// The snapshot is taken under a read lock, the build runs unlocked, and
+// the swap only happens if no mutation landed in between (checked by
+// generation); otherwise it aborts with no effect. Caller must have set
+// t.compacting.
+func (t *Table) compactMajor(ctx context.Context) (bool, error) {
+	t.mu.RLock()
+	genStart := t.gen.Load()
+	n := t.tix.Len()
+	npl := newPayload(len(t.cols))
+	npl.rows = make([][]string, 0, n)
+	npl.keys = make([]string, 0, n)
+	for j := range t.cols {
+		npl.cells[j] = make([]string, 0, n)
+		npl.profs[j] = make([]*config.Profile, 0, n)
+	}
+	if t.hasRules {
+		npl.words = make([][]string, 0, n)
+	}
+	for d := 0; d < n; d++ {
+		pl, local := t.payload(t.tix.Ref(d))
+		npl.rows = append(npl.rows, pl.rows[local])
+		npl.keys = append(npl.keys, pl.keys[local])
+		for j := range t.cols {
+			npl.cells[j] = append(npl.cells[j], pl.cells[j][local])
+			npl.profs[j] = append(npl.profs[j], pl.profs[j][local])
+		}
+		if t.hasRules {
+			npl.words = append(npl.words, pl.words[local])
+		}
+	}
+	par := t.parallelism
+	t.mu.RUnlock()
+
+	seg := blocking.BuildSegment(npl.keys, par)
+	if err := ctx.Err(); err != nil {
+		t.endCompaction()
+		return false, err
+	}
+	ntix := blocking.NewTableIndex()
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	ntix.AttachSegment(seg, alive, true)
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.compacting = false
+	if t.gen.Load() != genStart {
+		return false, nil // raced with a mutation; retry on a later Compact
+	}
+	t.tix = ntix
+	t.segs = []*tablePayload{npl}
+	t.delta = newPayload(len(t.cols))
+	t.gen.Add(1)
+	return true, nil
+}
+
+// payload resolves a Ref to its storage.
+//
+//autofj:hotpath
+func (t *Table) payload(ref blocking.Ref) (*tablePayload, int32) {
+	if ref.Seg >= 0 {
+		return t.segs[ref.Seg], ref.Local
+	}
+	return t.delta, ref.Local
+}
+
+// profile returns the full (IDF-weighted, when the space needs it) profile
+// of a reference row, derived from its stored count profile under the
+// current statistics — bit-identical to the profile a fresh compile would
+// precompute. The result aliases rs and must be consumed before the next
+// derivation into the same scratch.
+//
+//autofj:hotpath
+func (t *Table) profile(j int, pl *tablePayload, local int32, rs *config.ReweightScratch) *config.Profile {
+	return t.cols[j].corpus.Reweighted(pl.profs[j][local], rs)
+}
+
+// pairDists fills ms.drow with every configuration's distance between
+// reference row ref and the current query profiles — the Table form of
+// Matcher.pairDists, with identical multi-column float32 rounding and
+// missing-value semantics.
+//
+//autofj:hotpath
+func (t *Table) pairDists(ms *tableScratch, ref blocking.Ref) {
+	pl, local := t.payload(ref)
+	if !t.multi {
+		t.eval.Distances(t.profile(0, pl, local, &ms.rwa), ms.qprof[0], ms.esc, ms.drow)
+		return
+	}
+	for ci := range ms.drow {
+		ms.drow[ci] = 0
+	}
+	for j := range t.cols {
+		if pl.cells[j][local] == "" && ms.qcells[j] == "" {
+			for ci := range ms.drow {
+				ms.drow[ci] += t.weights[j]
+			}
+			continue
+		}
+		lp := t.profile(j, pl, local, &ms.rwa)
+		t.eval.Distances(lp, ms.qprof[j], ms.esc, ms.crow)
+		for ci := range ms.drow {
+			ms.drow[ci] += t.weights[j] * float64(float32(ms.crow[ci]))
+		}
+	}
+}
+
+// leftDist evaluates configuration ci between two reference rows (the
+// ball-construction distance), deriving both weighted profiles into
+// separate scratches.
+//
+//autofj:hotpath
+func (t *Table) leftDist(ms *tableScratch, ci int, a, b blocking.Ref) float64 {
+	f := t.configs[ci].Function
+	apl, alocal := t.payload(a)
+	bpl, blocal := t.payload(b)
+	if !t.multi {
+		return f.Distance(t.profile(0, apl, alocal, &ms.rwa), t.profile(0, bpl, blocal, &ms.rwb))
+	}
+	var d float64
+	for j := range t.cols {
+		if apl.cells[j][alocal] == "" && bpl.cells[j][blocal] == "" {
+			d += t.weights[j]
+			continue
+		}
+		pa := t.profile(j, apl, alocal, &ms.rwa)
+		pb := t.profile(j, bpl, blocal, &ms.rwb)
+		d += t.weights[j] * float64(float32(f.Distance(pa, pb)))
+	}
+	return d
+}
+
+// ballCount returns the 2θ-ball cardinality of dense row l under
+// configuration ci, cached per (configuration, row) and tagged with the
+// statistics generation so mutations invalidate it wholesale. Values are
+// deterministic, so concurrent fills are benign.
+//
+//autofj:hotpath
+func (t *Table) ballCount(ci int, l int32, ms *tableScratch) uint32 {
+	slot := &t.balls[ci*t.ballStride+int(l)]
+	tag := uint64(t.statsGen) << 32
+	if v := slot.Load(); v&^uint64(0xffffffff) == tag && uint32(v) != 0 {
+		return uint32(v)
+	}
+	radius := t.ballFactor * t.configs[ci].Threshold
+	ms.ballCands = t.tix.AppendTopKSelf(ms.ballCands[:0], ms.sc, int(l), t.k)
+	count := uint32(1)
+	aref := t.tix.Ref(int(l))
+	for _, c := range ms.ballCands {
+		if t.leftDist(ms, ci, aref, t.tix.Ref(int(c.ID))) <= radius {
+			count++
+		}
+	}
+	if count > maxBallCount {
+		count = maxBallCount
+	}
+	slot.Store(tag | uint64(count))
+	return count
+}
+
+// matchOne runs the full query path for one record against the segmented
+// table: merged blocking, negative-rule vetoes, per-configuration
+// closest-candidate scans, and the learning-faithful union resolution —
+// the exact Matcher.matchOne sequence over Ref-addressed storage. Caller
+// must hold the read lock.
+//
+//autofj:hotpath
+func (t *Table) matchOne(ms *tableScratch, key string, row []string) (Match, bool) {
+	if len(t.configs) == 0 || t.tix.Len() == 0 {
+		return noMatch(), false
+	}
+	ms.cands = t.tix.AppendTopK(ms.cands[:0], ms.sc, key, t.k)
+	ids := ms.ids[:0]
+	if t.hasRules {
+		ms.qwords = negrule.AppendWordSet(ms.qwords[:0], key)
+		for _, c := range ms.cands {
+			pl, local := t.payload(t.tix.Ref(int(c.ID)))
+			if !t.rules.BlocksPair(pl.words[local], ms.qwords) {
+				ids = append(ids, c.ID)
+			}
+		}
+	} else {
+		for _, c := range ms.cands {
+			ids = append(ids, c.ID)
+		}
+	}
+	ms.ids = ids
+	if len(ids) == 0 {
+		return noMatch(), false
+	}
+	if t.multi {
+		for j, cj := range t.columns {
+			ms.qcells[j] = row[cj]
+		}
+	} else {
+		ms.qcells[0] = key
+	}
+	for j := range t.cols {
+		ms.qprof[j] = t.cols[j].corpus.Profile(ms.qcells[j])
+	}
+	for ci := range t.configs {
+		ms.bestL[ci] = -1
+		ms.bestD[ci] = math.Inf(1)
+	}
+	for _, l := range ids {
+		t.pairDists(ms, t.tix.Ref(int(l)))
+		for ci := range ms.drow {
+			if ms.drow[ci] < ms.bestD[ci] {
+				ms.bestD[ci] = ms.drow[ci]
+				ms.bestL[ci] = l
+			}
+		}
+	}
+	best := noMatch()
+	for ci := range t.configs {
+		bl, bd := ms.bestL[ci], ms.bestD[ci]
+		if bl < 0 || bd > t.configs[ci].Threshold || bd >= unjoinableDist {
+			continue
+		}
+		pr := 1 / float64(t.ballCount(ci, bl, ms))
+		switch {
+		case best.Left < 0:
+			best = Match{Left: int(bl), Distance: bd, Precision: pr, Config: ci}
+		case best.Left == int(bl):
+			if pr > best.Precision {
+				best.Precision = pr
+			}
+		case pr > best.Precision:
+			best = Match{Left: int(bl), Distance: bd, Precision: pr, Config: ci}
+		}
+	}
+	return best, best.Left >= 0
+}
+
+func (t *Table) getScratch() *tableScratch { return t.pool.Get().(*tableScratch) }
+
+// putScratch returns a scratch to the pool with every query- or
+// row-derived reference released, so the pool can never pin user input or
+// removed reference rows.
+//
+//autofj:hotpath
+func (t *Table) putScratch(ms *tableScratch) {
+	clear(ms.qprof)
+	clear(ms.qcells)
+	clear(ms.qwords[:cap(ms.qwords)])
+	ms.rwa.Release()
+	ms.rwb.Release()
+	t.pool.Put(ms)
+}
+
+// Match matches one query record. Safe for concurrent use; the answer is
+// consistent with one single generation of the table.
+func (t *Table) Match(ctx context.Context, record string) (Match, bool, error) {
+	if t.multi {
+		return noMatch(), false, errNeedRow
+	}
+	if err := ctx.Err(); err != nil {
+		return noMatch(), false, err
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ms := t.getScratch()
+	defer t.putScratch(ms)
+	mt, ok := t.matchOne(ms, record, nil)
+	return mt, ok, nil
+}
+
+// MatchRow matches one full row (RowWidth cells).
+func (t *Table) MatchRow(ctx context.Context, row []string) (Match, bool, error) {
+	if len(row) != t.rowWidth {
+		return noMatch(), false, fmt.Errorf("core: table wants rows with %d cells, got %d", t.rowWidth, len(row))
+	}
+	if !t.multi {
+		return t.Match(ctx, row[0])
+	}
+	if err := ctx.Err(); err != nil {
+		return noMatch(), false, err
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ms := t.getScratch()
+	defer t.putScratch(ms)
+	mt, ok := t.matchOne(ms, concatRow(row), row)
+	return mt, ok, nil
+}
+
+// MatchBatch matches a batch of query records, sharded like
+// Matcher.MatchBatch. The whole batch answers under ONE generation.
+func (t *Table) MatchBatch(ctx context.Context, records []string) ([]Match, error) {
+	if t.multi {
+		return nil, errNeedRow
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.batchLocked(ctx, len(records), func(ms *tableScratch, i int) Match {
+		mt, _ := t.matchOne(ms, records[i], nil)
+		return mt
+	})
+}
+
+// MatchRows is the row-based batch form.
+func (t *Table) MatchRows(ctx context.Context, rows [][]string) ([]Match, error) {
+	tb, err := t.MatchBatchAt(ctx, rows)
+	if err != nil {
+		return nil, err
+	}
+	return tb.Matches, nil
+}
+
+// TableBatch is a batch answer bound to the generation that produced it:
+// the matches, the matched reference rows (aligned; nil where unmatched —
+// valid immutable snapshots even after later mutations), and the
+// generation, taken atomically under one read lock.
+type TableBatch struct {
+	Matches    []Match
+	Rows       [][]string
+	Generation uint64
+}
+
+// MatchBatchAt matches a batch of full rows and returns the matches
+// together with the matched reference rows and the generation that
+// answered — everything a caching serving layer needs to render and key
+// the results without re-locking the table.
+func (t *Table) MatchBatchAt(ctx context.Context, rows [][]string) (*TableBatch, error) {
+	for i, row := range rows {
+		if len(row) != t.rowWidth {
+			return nil, fmt.Errorf("core: row %d has %d cells, want %d", i, len(row), t.rowWidth)
+		}
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out, err := t.batchLocked(ctx, len(rows), func(ms *tableScratch, i int) Match {
+		var mt Match
+		if t.multi {
+			mt, _ = t.matchOne(ms, concatRow(rows[i]), rows[i])
+		} else {
+			mt, _ = t.matchOne(ms, rows[i][0], nil)
+		}
+		return mt
+	})
+	if err != nil {
+		return nil, err
+	}
+	tb := &TableBatch{Matches: out, Rows: make([][]string, len(out)), Generation: t.gen.Load()}
+	for i, m := range out {
+		if m.Left >= 0 {
+			pl, local := t.payload(t.tix.Ref(m.Left))
+			tb.Rows[i] = pl.rows[local]
+		}
+	}
+	return tb, nil
+}
+
+// batchLocked shards n independent queries across workers under the
+// caller's read lock; results land at fixed indexes. Cancellation is
+// checked per record.
+func (t *Table) batchLocked(ctx context.Context, n int, one func(*tableScratch, int) Match) ([]Match, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]Match, n)
+	var stop atomic.Bool
+	parallel.Shard(n, parallel.Workers(t.parallelism, n), func(_, start, end int) {
+		ms := t.getScratch()
+		defer t.putScratch(ms)
+		for i := start; i < end; i++ {
+			if stop.Load() {
+				return
+			}
+			if ctx.Err() != nil {
+				stop.Store(true)
+				return
+			}
+			out[i] = one(ms, i)
+		}
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// MatchStream matches a stream of query records with one chunk of
+// lookahead, like Matcher.MatchStream. Each chunk answers under one
+// generation; a mutation can land between chunks.
+func (t *Table) MatchStream(ctx context.Context, records iter.Seq[string]) iter.Seq2[StreamMatch, error] {
+	return matchStream(ctx, t.multi, records, t.MatchBatch)
+}

@@ -199,6 +199,18 @@ func (s *Set) Freeze(left []string, parallelism int) *Frozen {
 	return f
 }
 
+// FreezeRules builds a Frozen view of learned rule word pairs without
+// binding it to a reference table: callers supply BOTH word sets per lookup
+// via BlocksPair. Mutable reference tables use this form, precomputing each
+// record's word set alongside the record itself so rows can come and go.
+func FreezeRules(rules [][2]string) *Frozen {
+	f := &Frozen{rules: make(map[Rule]bool, len(rules))}
+	for _, pair := range rules {
+		f.rules[NewRule(pair[0], pair[1])] = true
+	}
+	return f
+}
+
 // Len returns the number of frozen rules.
 func (f *Frozen) Len() int { return len(f.rules) }
 
@@ -206,10 +218,20 @@ func (f *Frozen) Len() int { return len(f.rules) }
 // qwords) is vetoed. qwords must come from AppendWordSet. Allocation-free
 // and safe for concurrent use.
 func (f *Frozen) Blocks(i int, qwords []string) bool {
+	return f.BlocksPair(f.leftWords[i], qwords)
+}
+
+// BlocksPair reports whether a (reference, query) pair with the given word
+// sets is vetoed: the sets differ by exactly one word on each side and that
+// word pair is a learned rule. Both slices must come from AppendWordSet.
+// Allocation-free and safe for concurrent use.
+//
+//autofj:hotpath
+func (f *Frozen) BlocksPair(lwords, qwords []string) bool {
 	if len(f.rules) == 0 {
 		return false
 	}
-	a, b := f.leftWords[i], qwords
+	a, b := lwords, qwords
 	var onlyA, onlyB string
 	nA, nB := 0, 0
 	ai, bi := 0, 0

@@ -17,10 +17,12 @@ type batchRequest struct {
 }
 
 type batchResult struct {
-	m   core.Match
-	ok  bool
-	cp  *compiledProgram // the program version that answered (nil on shutdown)
-	err error
+	m       core.Match
+	leftVal string // display value, rendered from the answering state
+	gen     uint64 // table generation that answered
+	ok      bool
+	cp      *compiledProgram // the program version that answered (nil on shutdown)
+	err     error
 }
 
 // batcher coalesces concurrent single-query requests into MatchBatch /
@@ -132,36 +134,36 @@ func (b *batcher) run(stop <-chan struct{}, cur func() *compiledProgram, met *Me
 }
 
 // dispatch answers one collected batch against a fixed compiled program.
-// The matcher call uses context.Background(): batches are millisecond-
-// scale, and cutting one short would fail queries that were already
-// accepted — the drain deadline in Registry.Close bounds the wait
-// instead.
+// MatchBatchAt returns the matches, the matched reference rows, and the
+// table generation under ONE read lock, so each result renders its
+// display value from the exact state that answered — a concurrent
+// AddRows/RemoveRows/Compact can never tear a result. The call uses
+// context.Background(): batches are millisecond-scale, and cutting one
+// short would fail queries that were already accepted — the drain
+// deadline in Registry.Close bounds the wait instead.
 func (b *batcher) dispatch(batch []*batchRequest, cp *compiledProgram, met *Metrics) {
 	met.batches.Add(1)
 	met.batchQueries.Add(uint64(len(batch)))
-	var matches []core.Match
-	var err error
-	if cp.matcher.MultiColumn() {
-		rows := make([][]string, len(batch))
-		for i, req := range batch {
-			rows[i] = req.row
-		}
-		//autofj:ctx-ok a queued batch serves many callers; one caller's cancellation must not fail its batch companions
-		matches, err = cp.matcher.MatchRows(context.Background(), rows)
-	} else {
-		records := make([]string, len(batch))
-		for i, req := range batch {
-			records[i] = req.row[0]
-		}
-		//autofj:ctx-ok a queued batch serves many callers; one caller's cancellation must not fail its batch companions
-		matches, err = cp.matcher.MatchBatch(context.Background(), records)
-	}
+	rows := make([][]string, len(batch))
 	for i, req := range batch {
-		if err != nil {
+		rows[i] = req.row
+	}
+	//autofj:ctx-ok a queued batch serves many callers; one caller's cancellation must not fail its batch companions
+	tb, err := cp.table.MatchBatchAt(context.Background(), rows)
+	if err != nil {
+		for _, req := range batch {
 			req.done <- batchResult{m: core.NoMatch(), cp: cp, err: err}
-			continue
 		}
-		req.done <- batchResult{m: matches[i], ok: matches[i].Left >= 0, cp: cp}
+		return
+	}
+	multi := cp.table.MultiColumn()
+	for i, req := range batch {
+		m := tb.Matches[i]
+		res := batchResult{m: m, gen: tb.Generation, ok: m.Left >= 0, cp: cp}
+		if res.ok {
+			res.leftVal = displayValue(tb.Rows[i], multi)
+		}
+		req.done <- res
 	}
 }
 

@@ -10,10 +10,12 @@ import (
 )
 
 // cachedMatch is one memoized answer. Match values are stored exactly as
-// MatchBatch produced them, so a cache hit is bit-identical to a miss.
+// MatchBatchAt produced them — including the display value rendered from
+// the answering table state — so a cache hit is bit-identical to a miss.
 type cachedMatch struct {
-	m  core.Match
-	ok bool
+	m       core.Match
+	leftVal string
+	ok      bool
 }
 
 // lruCache is a bounded, mutex-guarded LRU of query-key -> match. One
@@ -21,11 +23,12 @@ type cachedMatch struct {
 // cache (caching disabled).
 //
 // Keys are the exact query bytes (length-prefixed per cell) prefixed with
-// the program generation: no textual normalization is applied, because
-// whitespace and case can legitimately change a configuration's distance,
-// and the serving tier guarantees bit-identical results to Matcher.Match.
-// The generation prefix makes every entry of a hot-swapped program an
-// automatic miss even before the swap purges the cache.
+// the program generation AND the reference-table generation: no textual
+// normalization is applied, because whitespace and case can legitimately
+// change a configuration's distance, and the serving tier guarantees
+// bit-identical results to Table.Match. The generation prefixes make
+// every entry of a hot-swapped or mutated program an automatic miss even
+// before the purge lands — no mutation can ever serve a stale answer.
 type lruCache struct {
 	mu    sync.Mutex
 	cap   int
@@ -103,11 +106,14 @@ func (c *lruCache) len() int {
 }
 
 // cacheKey renders a query row unambiguously: the program generation,
+// the reference-table generation (bumped by every Add/Remove/Compact),
 // then each cell length-prefixed (so no cell content can collide with
 // another row's boundaries).
-func cacheKey(gen uint64, row []string) string {
+func cacheKey(progGen, tableGen uint64, row []string) string {
 	var b strings.Builder
-	b.WriteString(strconv.FormatUint(gen, 10))
+	b.WriteString(strconv.FormatUint(progGen, 10))
+	b.WriteByte('.')
+	b.WriteString(strconv.FormatUint(tableGen, 10))
 	for _, cell := range row {
 		b.WriteByte('|')
 		b.WriteString(strconv.Itoa(len(cell)))

@@ -62,28 +62,33 @@ func TestNilCacheIsDisabled(t *testing.T) {
 	}
 }
 
-// cacheKey must keep cell boundaries and generations unambiguous: no two
-// distinct (generation, row) pairs may share a key.
+// cacheKey must keep cell boundaries and both generations unambiguous:
+// no two distinct (program gen, table gen, row) triples may share a key.
 func TestCacheKeyUnambiguous(t *testing.T) {
-	keys := map[string][2]any{}
+	keys := map[string][3]any{}
 	cases := []struct {
-		gen uint64
-		row []string
+		gen  uint64
+		tgen uint64
+		row  []string
 	}{
-		{0, []string{"ab", "c"}},
-		{0, []string{"a", "bc"}},
-		{0, []string{"abc"}},
-		{0, []string{"ab,c"}},
-		{0, []string{"ab|1:c"}},
-		{1, []string{"ab", "c"}}, // same row, new generation
-		{0, []string{""}},
-		{0, []string{"", ""}},
+		{0, 1, []string{"ab", "c"}},
+		{0, 1, []string{"a", "bc"}},
+		{0, 1, []string{"abc"}},
+		{0, 1, []string{"ab,c"}},
+		{0, 1, []string{"ab|1:c"}},
+		{1, 1, []string{"ab", "c"}},  // same row, new program generation
+		{0, 2, []string{"ab", "c"}},  // same row, new table generation
+		{0, 12, []string{"ab", "c"}}, // generations must not concatenate ambiguously
+		{1, 2, []string{"ab", "c"}},
+		{12, 1, []string{"ab", "c"}},
+		{0, 1, []string{""}},
+		{0, 1, []string{"", ""}},
 	}
 	for _, c := range cases {
-		k := cacheKey(c.gen, c.row)
+		k := cacheKey(c.gen, c.tgen, c.row)
 		if prev, dup := keys[k]; dup {
-			t.Errorf("collision: %v and gen=%d row=%v both key to %q", prev, c.gen, c.row, k)
+			t.Errorf("collision: %v and gen=%d.%d row=%v both key to %q", prev, c.gen, c.tgen, c.row, k)
 		}
-		keys[k] = [2]any{c.gen, c.row}
+		keys[k] = [3]any{c.gen, c.tgen, c.row}
 	}
 }

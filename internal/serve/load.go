@@ -66,11 +66,43 @@ func ConcatRows(t dataset.Table) []string {
 	return out
 }
 
-// CompileProgram builds the serving matcher for a program against the
-// reference table, returning the display values of the reference records
-// (the key column for single-column programs, the concatenated row for
-// multi-column ones). column names the single-column join key; it is
-// ignored for multi-column programs.
+// displayValue renders one matched reference row for responses:
+// single-column rows are the key cell itself, multi-column rows are the
+// whitespace-normalized concatenation (the ConcatRows form).
+func displayValue(row []string, multi bool) string {
+	if len(row) == 0 {
+		return ""
+	}
+	if !multi {
+		return row[0]
+	}
+	return strings.Join(strings.Fields(strings.Join(row, " ")), " ")
+}
+
+// CompileTable builds the mutable serving table for a program against
+// the reference table: single-column programs index the join key column
+// (column, default first) as one-cell rows, multi-column programs index
+// the full rows. column is ignored for multi-column programs.
+func CompileTable(prog *core.Program, left dataset.Table, column string, opt core.Options) (*core.Table, error) {
+	if len(prog.Columns) > 0 {
+		return prog.NewTable(len(left.Columns), left.Rows, opt)
+	}
+	keys, err := KeyColumn(left, column)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([][]string, len(keys))
+	for i, k := range keys {
+		rows[i] = []string{k}
+	}
+	return prog.NewTable(1, rows, opt)
+}
+
+// CompileProgram builds the immutable serving matcher for a program
+// against the reference table, returning the display values of the
+// reference records (the key column for single-column programs, the
+// concatenated row for multi-column ones). column names the
+// single-column join key; it is ignored for multi-column programs.
 func CompileProgram(prog *core.Program, left dataset.Table, column string, opt core.Options) (*core.Matcher, []string, error) {
 	if len(prog.Columns) > 0 {
 		m, err := prog.CompileMultiColumn(left.AllColumns(), opt)

@@ -88,6 +88,8 @@ type Metrics struct {
 	batches      atomic.Uint64 // dispatched micro-batches
 	batchQueries atomic.Uint64 // queries carried by those batches
 	swaps        atomic.Uint64 // program registrations/hot swaps
+	mutations    atomic.Uint64 // reference-table row mutations (adds + removes)
+	compactions  atomic.Uint64 // reference-table compactions (background + forced)
 
 	lat histogram
 
@@ -173,6 +175,8 @@ func (m *Metrics) Write(w io.Writer, now time.Time) {
 	counter("autofjd_batches_total", "Micro-batches dispatched to MatchBatch.", s.Batches)
 	counter("autofjd_batch_queries_total", "Queries carried by dispatched micro-batches.", s.BatchQueries)
 	counter("autofjd_program_swaps_total", "Program registrations and hot swaps.", m.swaps.Load())
+	counter("autofjd_table_mutations_total", "Reference-table row mutations (adds + removes).", m.mutations.Load())
+	counter("autofjd_table_compactions_total", "Reference-table compactions (background + forced).", m.compactions.Load())
 	gauge("autofjd_uptime_seconds", "Seconds since the daemon started.", now.Sub(m.start).Seconds())
 	gauge("autofjd_qps", "Requests per second since start.", s.QPS)
 	if hits, misses := s.CacheHits, s.CacheMisses; hits+misses > 0 {

@@ -11,14 +11,16 @@ import (
 	"github.com/chu-data-lab/autofuzzyjoin-go/internal/core"
 )
 
-// compiledProgram is the immutable serving state of one program version:
-// swap-in replaces the whole value behind an atomic pointer.
+// compiledProgram is the serving state of one program version: the
+// mutable reference table (segments + delta) and the spec bookkeeping.
+// Swap-in replaces the whole value behind an atomic pointer; row
+// mutations go through the table itself and bump its generation.
 type compiledProgram struct {
-	name     string
-	matcher  *core.Matcher
-	leftVals []string
-	column   string
-	gen      uint64 // monotonically increasing per program name
+	name         string
+	table        *core.Table
+	column       string
+	snapshotPath string
+	gen          uint64 // monotonically increasing per program name
 }
 
 // program is one registry slot: the current compiled version, the result
@@ -32,10 +34,13 @@ type program struct {
 }
 
 // Registry holds the named programs of a daemon and runs their
-// micro-batchers. All methods are safe for concurrent use; the data path
-// (Query) takes only a read lock on the name table, and a program's
-// compiled state is swapped atomically so re-registration never blocks
-// or drops in-flight traffic.
+// micro-batchers and the background compactor. All methods are safe for
+// concurrent use; the data path (Query) takes only a read lock on the
+// name table, and a program's compiled state is swapped atomically so
+// re-registration never blocks or drops in-flight traffic. Reference
+// tables mutate in place (AddRows/RemoveRows): each mutation bumps the
+// table generation, so generation-keyed cache entries of the old state
+// can never hit again.
 type Registry struct {
 	cfg     Config
 	opt     core.Options
@@ -44,22 +49,29 @@ type Registry struct {
 	mu    sync.RWMutex
 	progs map[string]*program
 
+	compactKick chan struct{}
+
 	stop    chan struct{}
 	stopped atomic.Bool
 	wg      sync.WaitGroup
 }
 
-// NewRegistry builds an empty registry. Programs listed in cfg.Programs
-// are NOT loaded here — call Register (or RegisterAll) so callers decide
-// how to surface per-program load errors.
+// NewRegistry builds an empty registry and starts its background
+// compactor. Programs listed in cfg.Programs are NOT loaded here — call
+// Register (or RegisterAll) so callers decide how to surface per-program
+// load errors.
 func NewRegistry(cfg Config, metrics *Metrics) *Registry {
-	return &Registry{
-		cfg:     cfg,
-		opt:     core.Options{Parallelism: cfg.Parallelism},
-		metrics: metrics,
-		progs:   make(map[string]*program),
-		stop:    make(chan struct{}),
+	r := &Registry{
+		cfg:         cfg,
+		opt:         core.Options{Parallelism: cfg.Parallelism},
+		metrics:     metrics,
+		progs:       make(map[string]*program),
+		compactKick: make(chan struct{}, 1),
+		stop:        make(chan struct{}),
 	}
+	r.wg.Add(1)
+	go r.compactor()
+	return r
 }
 
 // Metrics returns the registry's metrics sink.
@@ -146,27 +158,38 @@ func (r *Registry) get(name string) *program {
 	return r.progs[name]
 }
 
-// ProgramInfo is one row of the registry listing.
-type ProgramInfo struct {
-	Name        string  `json:"name"`
-	Records     int     `json:"records"`
-	MultiColumn bool    `json:"multi_column"`
-	RowWidth    int     `json:"row_width"`
-	Generation  uint64  `json:"generation"`
-	Queries     uint64  `json:"queries"`
-	Matched     uint64  `json:"matched"`
-	MatchRate   float64 `json:"match_rate"`
-	CacheLen    int     `json:"cache_entries"`
-}
-
-// Programs lists the registered programs, sorted by name.
-func (r *Registry) Programs() []ProgramInfo {
+// snapshotProgs copies the slot list so slow per-program work (listing,
+// compaction) runs outside the name-table lock.
+func (r *Registry) snapshotProgs() []*program {
 	r.mu.RLock()
+	defer r.mu.RUnlock()
 	progs := make([]*program, 0, len(r.progs))
 	for _, p := range r.progs {
 		progs = append(progs, p)
 	}
-	r.mu.RUnlock()
+	sort.Slice(progs, func(i, j int) bool { return progs[i].name < progs[j].name })
+	return progs
+}
+
+// ProgramInfo is one row of the registry listing.
+type ProgramInfo struct {
+	Name            string  `json:"name"`
+	Records         int     `json:"records"`
+	MultiColumn     bool    `json:"multi_column"`
+	RowWidth        int     `json:"row_width"`
+	Generation      uint64  `json:"generation"`
+	TableGeneration uint64  `json:"table_generation"`
+	DeltaRows       int     `json:"delta_rows"`
+	Segments        int     `json:"segments"`
+	Queries         uint64  `json:"queries"`
+	Matched         uint64  `json:"matched"`
+	MatchRate       float64 `json:"match_rate"`
+	CacheLen        int     `json:"cache_entries"`
+}
+
+// Programs lists the registered programs, sorted by name.
+func (r *Registry) Programs() []ProgramInfo {
+	progs := r.snapshotProgs()
 	out := make([]ProgramInfo, 0, len(progs))
 	for _, p := range progs {
 		cp := p.cur.Load()
@@ -174,14 +197,17 @@ func (r *Registry) Programs() []ProgramInfo {
 			continue
 		}
 		info := ProgramInfo{
-			Name:        p.name,
-			Records:     cp.matcher.Len(),
-			MultiColumn: cp.matcher.MultiColumn(),
-			RowWidth:    cp.matcher.RowWidth(),
-			Generation:  cp.gen,
-			Queries:     p.stats.queries.Load(),
-			Matched:     p.stats.matched.Load(),
-			CacheLen:    p.cache.len(),
+			Name:            p.name,
+			Records:         cp.table.Len(),
+			MultiColumn:     cp.table.MultiColumn(),
+			RowWidth:        cp.table.RowWidth(),
+			Generation:      cp.gen,
+			TableGeneration: cp.table.Generation(),
+			DeltaRows:       cp.table.DeltaLen(),
+			Segments:        cp.table.SegmentCount(),
+			Queries:         p.stats.queries.Load(),
+			Matched:         p.stats.matched.Load(),
+			CacheLen:        p.cache.len(),
 		}
 		if info.Queries > 0 {
 			info.MatchRate = float64(info.Matched) / float64(info.Queries)
@@ -204,9 +230,10 @@ type QueryResult struct {
 // Query answers one query row against the named program: cache first,
 // then the micro-batcher. row carries exactly one cell for single-column
 // programs and the reference table's arity for multi-column ones —
-// arity is validated here, per request, because MatchRows rejects a
-// whole batch on one malformed row and a bad query must never fail its
-// batch companions. Results are bit-identical to Matcher.Match.
+// arity is validated here, per request, because a batch rejects a whole
+// batch on one malformed row and a bad query must never fail its batch
+// companions. Results are bit-identical to Table.Match against the
+// answering table state.
 func (r *Registry) Query(ctx context.Context, name string, row []string) (QueryResult, error) {
 	start := time.Now()
 	r.metrics.requests.Add(1)
@@ -235,14 +262,18 @@ func (r *Registry) query(ctx context.Context, name string, row []string) (QueryR
 		return QueryResult{}, ErrUnknownProgram
 	}
 	cp := p.cur.Load()
-	if want := cp.matcher.RowWidth(); len(row) != want {
+	if want := cp.table.RowWidth(); len(row) != want {
 		return QueryResult{}, &ArityError{Program: name, Want: want, Got: len(row)}
 	}
 
-	key := cacheKey(cp.gen, row)
+	// The lookup key carries the table generation read NOW: if a mutation
+	// lands between this read and the hit, the entry was stored under the
+	// older generation and simply misses — stale answers are structurally
+	// impossible, no lock needed.
+	key := cacheKey(cp.gen, cp.table.Generation(), row)
 	if v, ok := p.cache.get(key); ok {
 		r.metrics.cacheHits.Add(1)
-		return r.result(cp, v.m, v.ok, true), nil
+		return QueryResult{Match: v.m, LeftValue: v.leftVal, OK: v.ok, Cached: true}, nil
 	}
 	r.metrics.cacheMisses.Add(1)
 
@@ -255,24 +286,17 @@ func (r *Registry) query(ctx context.Context, name string, row []string) (QueryR
 		if res.err != nil {
 			return QueryResult{}, res.err
 		}
-		// Cache and render under the version that actually answered: the
-		// program may have been swapped between our cp.Load and the
-		// dispatch, and Match.Left indexes that version's reference table.
-		p.cache.put(cacheKey(res.cp.gen, row), cachedMatch{m: res.m, ok: res.ok})
-		return r.result(res.cp, res.m, res.ok, false), nil
+		// Cache under the program version AND table generation that actually
+		// answered: the program may have been swapped or mutated between our
+		// cp.Load and the dispatch, and Match.Left indexes that state's rows.
+		p.cache.put(cacheKey(res.cp.gen, res.gen, row),
+			cachedMatch{m: res.m, leftVal: res.leftVal, ok: res.ok})
+		return QueryResult{Match: res.m, LeftValue: res.leftVal, OK: res.ok}, nil
 	case <-ctx.Done():
 		return QueryResult{}, ctx.Err()
 	case <-r.stop:
 		return QueryResult{}, ErrShuttingDown
 	}
-}
-
-func (r *Registry) result(cp *compiledProgram, m core.Match, ok bool, cached bool) QueryResult {
-	res := QueryResult{Match: m, OK: ok, Cached: cached}
-	if ok && m.Left >= 0 && m.Left < len(cp.leftVals) {
-		res.LeftValue = cp.leftVals[m.Left]
-	}
-	return res
 }
 
 // QueryBatch answers a pre-assembled batch directly (no micro-batching
@@ -288,29 +312,23 @@ func (r *Registry) QueryBatch(ctx context.Context, name string, rows [][]string)
 	}
 	cp := p.cur.Load()
 	for _, row := range rows {
-		if want := cp.matcher.RowWidth(); len(row) != want {
+		if want := cp.table.RowWidth(); len(row) != want {
 			return nil, &ArityError{Program: name, Want: want, Got: len(row)}
 		}
 	}
 	r.metrics.requests.Add(uint64(len(rows)))
-	var matches []core.Match
-	var err error
-	if cp.matcher.MultiColumn() {
-		matches, err = cp.matcher.MatchRows(ctx, rows)
-	} else {
-		records := make([]string, len(rows))
-		for i, row := range rows {
-			records[i] = row[0]
-		}
-		matches, err = cp.matcher.MatchBatch(ctx, records)
-	}
+	tb, err := cp.table.MatchBatchAt(ctx, rows)
 	if err != nil {
 		r.metrics.failures.Add(uint64(len(rows)))
 		return nil, err
 	}
-	out := make([]QueryResult, len(matches))
-	for i, m := range matches {
-		out[i] = r.result(cp, m, m.Left >= 0, false)
+	multi := cp.table.MultiColumn()
+	out := make([]QueryResult, len(tb.Matches))
+	for i, m := range tb.Matches {
+		out[i] = QueryResult{Match: m, OK: m.Left >= 0}
+		if out[i].OK {
+			out[i].LeftValue = displayValue(tb.Rows[i], multi)
+		}
 	}
 	p.stats.queries.Add(uint64(len(rows)))
 	for _, q := range out {
@@ -321,9 +339,162 @@ func (r *Registry) QueryBatch(ctx context.Context, name string, rows [][]string)
 	return out, nil
 }
 
+// TableUpdate reports the outcome of a reference-table mutation: the new
+// table generation (every result produced under an older generation is
+// already unreachable in the cache by the time this returns) and the
+// resulting table shape.
+type TableUpdate struct {
+	Program    string `json:"program"`
+	Generation uint64 `json:"generation"`
+	Records    int    `json:"records"`
+	DeltaRows  int    `json:"delta_rows"`
+}
+
+// AddRows appends reference rows to the named program's table in place —
+// no recompile, no swap. New rows are queryable as soon as this returns;
+// the generation bump keys them into the result cache.
+func (r *Registry) AddRows(name string, rows [][]string) (TableUpdate, error) {
+	p, cp, err := r.forMutation(name)
+	if err != nil {
+		return TableUpdate{}, err
+	}
+	for _, row := range rows {
+		if want := cp.table.RowWidth(); len(row) != want {
+			return TableUpdate{}, &ArityError{Program: name, Want: want, Got: len(row)}
+		}
+	}
+	gen, err := cp.table.Add(rows)
+	if err != nil {
+		return TableUpdate{}, err
+	}
+	return r.mutated(p, cp, gen), nil
+}
+
+// RemoveRows tombstones reference rows by their current dense indexes
+// (the Left values answers report). Indexes must be unique; later rows
+// shift down, exactly like a recompile without them.
+func (r *Registry) RemoveRows(name string, indices []int) (TableUpdate, error) {
+	p, cp, err := r.forMutation(name)
+	if err != nil {
+		return TableUpdate{}, err
+	}
+	gen, err := cp.table.Remove(indices)
+	if err != nil {
+		return TableUpdate{}, err
+	}
+	return r.mutated(p, cp, gen), nil
+}
+
+// CompactNow forces one compaction round on the named program's table,
+// reporting whether anything was rewritten. The background compactor
+// calls the same table method; this is the operator's handle.
+func (r *Registry) CompactNow(ctx context.Context, name string) (bool, TableUpdate, error) {
+	p, cp, err := r.forMutation(name)
+	if err != nil {
+		return false, TableUpdate{}, err
+	}
+	did, err := cp.table.Compact(ctx)
+	if err != nil {
+		return false, TableUpdate{}, err
+	}
+	upd := TableUpdate{
+		Program:    name,
+		Generation: cp.table.Generation(),
+		Records:    cp.table.Len(),
+		DeltaRows:  cp.table.DeltaLen(),
+	}
+	if did {
+		r.metrics.compactions.Add(1)
+		p.cache.purge()
+	}
+	return did, upd, nil
+}
+
+func (r *Registry) forMutation(name string) (*program, *compiledProgram, error) {
+	if r.stopped.Load() {
+		return nil, nil, ErrShuttingDown
+	}
+	p := r.get(name)
+	if p == nil {
+		return nil, nil, ErrUnknownProgram
+	}
+	return p, p.cur.Load(), nil
+}
+
+// mutated is the post-mutation bookkeeping: purge the (now unreachable)
+// cache entries, count the mutation, and nudge the compactor.
+func (r *Registry) mutated(p *program, cp *compiledProgram, gen uint64) TableUpdate {
+	p.cache.purge()
+	r.metrics.mutations.Add(1)
+	select {
+	case r.compactKick <- struct{}{}:
+	default:
+	}
+	return TableUpdate{
+		Program:    p.name,
+		Generation: gen,
+		Records:    cp.table.Len(),
+		DeltaRows:  cp.table.DeltaLen(),
+	}
+}
+
+// compactInterval is the backstop cadence of the background compactor;
+// mutations kick it immediately, the ticker catches anything missed.
+const compactInterval = time.Second
+
+// compactor is the registry's background compaction loop: whenever a
+// program's delta reaches Config.DeltaMax, its table is compacted off the
+// query path (queries keep flowing — compaction swaps under a brief write
+// lock). Shutdown is drain-aware: closing the registry cancels the
+// compaction context, an in-flight rebuild aborts at its next check
+// instead of publishing, and Close's WaitGroup holds until this loop has
+// actually exited.
+func (r *Registry) compactor() {
+	defer r.wg.Done()
+	//autofj:ctx-ok the compactor is a goroutine root owned by the registry; its lifetime is bound to r.stop, not to any caller's context
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		<-r.stop
+		cancel()
+	}()
+	tick := time.NewTicker(compactInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-r.compactKick:
+		case <-tick.C:
+		}
+		max := r.cfg.deltaMax()
+		if max < 0 {
+			continue
+		}
+		for _, p := range r.snapshotProgs() {
+			cp := p.cur.Load()
+			if cp == nil || cp.table.DeltaLen() < max {
+				continue
+			}
+			did, err := cp.table.Compact(ctx)
+			if err != nil {
+				if ctx.Err() != nil {
+					return // shutting down mid-compaction
+				}
+				continue
+			}
+			if did {
+				r.metrics.compactions.Add(1)
+				p.cache.purge()
+			}
+		}
+	}
+}
+
 // Close drains the registry: new queries fail fast with ErrShuttingDown,
-// queued queries are answered with it, and in-flight batches are given
-// until ctx's deadline to finish.
+// queued queries are answered with it, in-flight batches are given until
+// ctx's deadline to finish, and a compaction in flight aborts without
+// publishing.
 func (r *Registry) Close(ctx context.Context) error {
 	if r.stopped.Swap(true) {
 		return nil
@@ -342,8 +513,8 @@ func (r *Registry) Close(ctx context.Context) error {
 	}
 }
 
-// ArityError reports a query row whose cell count does not match the
-// program's required width.
+// ArityError reports a query or mutation row whose cell count does not
+// match the program's required width.
 type ArityError struct {
 	Program string
 	Want    int

@@ -3,18 +3,27 @@
 //
 // The design extends the learn-once / serve-many split one level up the
 // stack. A Registry holds one entry per program name; each entry owns an
-// atomic pointer to its compiled state (the Matcher plus the reference
-// display values), a bounded LRU cache of query results, and a
-// micro-batcher that coalesces concurrent single-query requests into
-// MatchBatch shards. Re-registering a name compiles the new program off
-// to the side and swaps the pointer — in-flight batches finish on the
-// matcher they started with, so a hot swap never drops traffic.
+// atomic pointer to its compiled state (a mutable core.Table: immutable
+// compiled segments plus a delta), a bounded LRU cache of query results,
+// and a micro-batcher that coalesces concurrent single-query requests
+// into MatchBatchAt shards. Re-registering a name compiles the new
+// program off to the side and swaps the pointer — in-flight batches
+// finish on the table they started with, so a hot swap never drops
+// traffic. Reference rows also mutate IN PLACE (AddRows/RemoveRows, the
+// /rows endpoints): each mutation bumps the table's generation, and a
+// background compactor folds accumulated deltas into compiled segments
+// once they reach Config.DeltaMax.
 //
-// Results are bit-identical to calling Matcher.Match directly: the data
-// path only ever reaches the matcher through MatchBatch/MatchRows (the
-// same code path as Match), and the cache stores the exact Match values
-// those calls produced, keyed by the exact query bytes plus the program
-// generation (so a swap can never serve stale answers).
+// Results are bit-identical to a full recompile of the current reference
+// rows: the data path only ever reaches the table through MatchBatchAt
+// (the same code path as Table.Match), and the cache stores the exact
+// Match values those calls produced, keyed by the exact query bytes plus
+// the program generation plus the table generation (so neither a swap
+// nor a row mutation can ever serve stale answers).
+//
+// A program can also boot from a binary table snapshot (ProgramSpec.
+// SnapshotPath): loading one skips program decoding and index compilation
+// entirely, turning daemon restarts from a recompile into a bulk read.
 package serve
 
 import (
@@ -52,6 +61,13 @@ type ProgramSpec struct {
 	// Column is the join key column of a single-column program (default:
 	// first column). Multi-column programs use every column.
 	Column string `json:"column,omitempty"`
+	// SnapshotPath points at a binary table snapshot (Table.SaveFile). If
+	// the file exists it is loaded instead of compiling program+left — a
+	// restart becomes a bulk read. If it does not exist, the program is
+	// compiled as usual and the snapshot is written for the next boot. A
+	// file that exists but fails validation is a hard, descriptive error:
+	// silently recompiling would mask corruption.
+	SnapshotPath string `json:"snapshot_path,omitempty"`
 }
 
 // Config is the daemon configuration (the -config file of autofjd).
@@ -76,6 +92,10 @@ type Config struct {
 	BatchMax int `json:"batch_max,omitempty"`
 	// DrainTimeoutMS bounds graceful shutdown (0 = default 5000ms).
 	DrainTimeoutMS int `json:"drain_timeout_ms,omitempty"`
+	// DeltaMax is the per-program delta size that triggers background
+	// compaction (0 = default 512, negative = automatic compaction off —
+	// deltas then only fold on explicit /compact calls).
+	DeltaMax int `json:"delta_max,omitempty"`
 }
 
 // Defaults of the Config knobs.
@@ -85,6 +105,7 @@ const (
 	DefaultBatchWindow  = 500 * time.Microsecond
 	DefaultBatchMax     = 64
 	DefaultDrainTimeout = 5 * time.Second
+	DefaultDeltaMax     = 512
 )
 
 // ListenAddr returns the HTTP address to bind, defaulted.
@@ -130,6 +151,16 @@ func (c Config) DrainTimeout() time.Duration {
 	return time.Duration(c.DrainTimeoutMS) * time.Millisecond
 }
 
+func (c Config) deltaMax() int {
+	switch {
+	case c.DeltaMax < 0:
+		return -1
+	case c.DeltaMax == 0:
+		return DefaultDeltaMax
+	}
+	return c.DeltaMax
+}
+
 // LoadConfig parses a daemon config file.
 func LoadConfig(path string) (Config, error) {
 	data, err := os.ReadFile(path)
@@ -145,17 +176,33 @@ func LoadConfig(path string) (Config, error) {
 	return c, nil
 }
 
-// resolve loads the spec's program and reference table and compiles the
-// serving matcher. It is the slow path — callers run it outside any lock
-// so serving continues while a replacement compiles.
+// resolve loads the spec's serving table: from the binary snapshot when
+// one exists, otherwise by loading program+reference and compiling (and
+// writing the snapshot for next time, when a path is configured). It is
+// the slow path — callers run it outside any lock so serving continues
+// while a replacement resolves.
 func (s ProgramSpec) resolve(opt core.Options) (*compiledProgram, error) {
 	if s.Name == "" {
 		return nil, errors.New("serve: program spec needs a name")
 	}
+	if s.SnapshotPath != "" {
+		if _, err := os.Stat(s.SnapshotPath); err == nil {
+			tab, err := core.LoadTableFile(s.SnapshotPath, opt)
+			if err != nil {
+				return nil, fmt.Errorf("serve: program %q: snapshot %s: %w", s.Name, s.SnapshotPath, err)
+			}
+			return &compiledProgram{
+				name:         s.Name,
+				table:        tab,
+				column:       s.Column,
+				snapshotPath: s.SnapshotPath,
+			}, nil
+		}
+	}
 	progData := []byte(s.Program)
 	if len(progData) == 0 {
 		if s.ProgramPath == "" {
-			return nil, fmt.Errorf("serve: program %q: need program or program_path", s.Name)
+			return nil, fmt.Errorf("serve: program %q: need program, program_path, or an existing snapshot_path", s.Name)
 		}
 		var err error
 		if progData, err = os.ReadFile(s.ProgramPath); err != nil {
@@ -179,14 +226,19 @@ func (s ProgramSpec) resolve(opt core.Options) (*compiledProgram, error) {
 			return nil, err
 		}
 	}
-	matcher, leftVals, err := CompileProgram(prog, left, s.Column, opt)
+	tab, err := CompileTable(prog, left, s.Column, opt)
 	if err != nil {
 		return nil, fmt.Errorf("serve: program %q: %w", s.Name, err)
 	}
+	if s.SnapshotPath != "" {
+		if err := tab.SaveFile(s.SnapshotPath); err != nil {
+			return nil, fmt.Errorf("serve: program %q: writing snapshot: %w", s.Name, err)
+		}
+	}
 	return &compiledProgram{
-		name:     s.Name,
-		matcher:  matcher,
-		leftVals: leftVals,
-		column:   s.Column,
+		name:         s.Name,
+		table:        tab,
+		column:       s.Column,
+		snapshotPath: s.SnapshotPath,
 	}, nil
 }

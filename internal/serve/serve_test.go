@@ -144,7 +144,7 @@ func TestRegistryBitIdenticalToMatcher(t *testing.T) {
 	ctx := context.Background()
 	for pass := 0; pass < 2; pass++ { // second pass exercises the cache
 		for _, q := range queries {
-			want, wantOK, err := cp.matcher.Match(ctx, q)
+			want, wantOK, err := cp.table.Match(ctx, q)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -167,7 +167,7 @@ func TestRegistryBitIdenticalToMatcher(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i, q := range queries {
-		want, _, _ := cp.matcher.Match(ctx, q)
+		want, _, _ := cp.table.Match(ctx, q)
 		if batch[i].Match != want {
 			t.Fatalf("batch query %q: %+v != %+v", q, batch[i].Match, want)
 		}

@@ -22,6 +22,9 @@ import (
 //	GET    /v1/programs                          list programs with stats
 //	POST   /v1/programs/{name}                   register or hot-swap a program
 //	DELETE /v1/programs/{name}                   remove a program
+//	POST   /v1/programs/{name}/rows              append reference rows in place
+//	DELETE /v1/programs/{name}/rows              tombstone reference rows by index
+//	POST   /v1/programs/{name}/compact           force a compaction round
 //	GET    /healthz                              liveness
 //	GET    /readyz                               readiness (startup programs loaded)
 //	GET    /metrics                              Prometheus text format
@@ -40,6 +43,9 @@ func NewServer(reg *Registry) *Server {
 	s.mux.HandleFunc("GET /v1/programs", s.handlePrograms)
 	s.mux.HandleFunc("POST /v1/programs/{name}", s.handleRegister)
 	s.mux.HandleFunc("DELETE /v1/programs/{name}", s.handleRemove)
+	s.mux.HandleFunc("POST /v1/programs/{name}/rows", s.handleAddRows)
+	s.mux.HandleFunc("DELETE /v1/programs/{name}/rows", s.handleRemoveRows)
+	s.mux.HandleFunc("POST /v1/programs/{name}/compact", s.handleCompact)
 	s.mux.HandleFunc("GET /v1/programs/{name}/query", s.handleQueryGet)
 	s.mux.HandleFunc("POST /v1/programs/{name}/query", s.handleQueryPost)
 	s.mux.HandleFunc("POST /v1/programs/{name}/batch", s.handleBatch)
@@ -220,6 +226,92 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		out[i] = toResponse(res)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"results": out})
+}
+
+// rowsRequest is the body of the row-append endpoint; like the batch
+// body, "records" is sugar for one-cell rows.
+type rowsRequest struct {
+	Records []string   `json:"records,omitempty"`
+	Rows    [][]string `json:"rows,omitempty"`
+}
+
+func (s *Server) handleAddRows(w http.ResponseWriter, r *http.Request) {
+	var req rowsRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding rows: %w", err))
+		return
+	}
+	rows := req.Rows
+	if req.Records != nil {
+		if rows != nil {
+			writeError(w, http.StatusBadRequest, errors.New(`body sets both "records" and "rows"; pick one`))
+			return
+		}
+		rows = make([][]string, len(req.Records))
+		for i, rec := range req.Records {
+			rows[i] = []string{rec}
+		}
+	}
+	if len(rows) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New(`body needs "records" (single-column) or "rows" (multi-column)`))
+		return
+	}
+	upd, err := s.reg.AddRows(r.PathValue("name"), rows)
+	if err != nil {
+		writeError(w, mutationStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, upd)
+}
+
+// removeRowsRequest is the body of the row-delete endpoint: the current
+// dense indexes of the rows to drop (the Left values answers report),
+// without duplicates.
+type removeRowsRequest struct {
+	Indices []int `json:"indices"`
+}
+
+func (s *Server) handleRemoveRows(w http.ResponseWriter, r *http.Request) {
+	var req removeRowsRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding indices: %w", err))
+		return
+	}
+	if len(req.Indices) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New(`body needs "indices"`))
+		return
+	}
+	upd, err := s.reg.RemoveRows(r.PathValue("name"), req.Indices)
+	if err != nil {
+		writeError(w, mutationStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, upd)
+}
+
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	did, upd, err := s.reg.CompactNow(r.Context(), r.PathValue("name"))
+	if err != nil {
+		writeError(w, mutationStatus(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"compacted":  did,
+		"program":    upd.Program,
+		"generation": upd.Generation,
+		"records":    upd.Records,
+		"delta_rows": upd.DeltaRows,
+	})
+}
+
+// mutationStatus maps mutation errors to HTTP statuses: registry-level
+// errors keep their usual mapping; anything else a table mutation
+// reports is input validation (bad width, bad index) — a client error.
+func mutationStatus(err error) int {
+	if st := statusOf(err); st != http.StatusInternalServerError {
+		return st
+	}
+	return http.StatusBadRequest
 }
 
 // statusOf maps query-path errors to HTTP statuses.

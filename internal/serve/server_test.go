@@ -199,13 +199,17 @@ func TestDaemonSmoke(t *testing.T) {
 		dist float64
 	}
 	expected := func(cp *compiledProgram, q string) expect {
-		m, ok, err := cp.matcher.Match(context.Background(), q)
+		m, ok, err := cp.table.Match(context.Background(), q)
 		if err != nil {
 			t.Fatal(err)
 		}
 		e := expect{ok: ok}
 		if ok {
-			e.val = cp.leftVals[m.Left]
+			row, err := cp.table.Row(m.Left)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e.val = displayValue(row, cp.table.MultiColumn())
 			e.dist = m.Distance
 		}
 		return e

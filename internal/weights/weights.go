@@ -7,7 +7,10 @@
 // once per (table corpus, tokenization) pair and shared.
 package weights
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // Scheme identifies a token-weighting scheme.
 type Scheme uint8
@@ -55,8 +58,66 @@ func NewStats(docs [][]string) *Stats {
 	return s
 }
 
+// NewEmptyStats returns statistics over an empty corpus, ready for
+// incremental maintenance via AddDocTokens/RemoveDocTokens.
+func NewEmptyStats() *Stats {
+	return &Stats{df: make(map[string]int)}
+}
+
+// AddDocTokens adds one document given its DISTINCT token set (duplicates
+// would inflate df). Together with RemoveDocTokens this keeps Stats exactly
+// equal to NewStats over the current document multiset: df and docs are
+// integers, so the incremental path reproduces the batch-built statistics
+// bit for bit.
+func (s *Stats) AddDocTokens(distinct []string) {
+	s.docs++
+	for _, tok := range distinct {
+		s.df[tok]++
+	}
+}
+
+// RemoveDocTokens removes one document previously added with the same
+// distinct token set.
+func (s *Stats) RemoveDocTokens(distinct []string) {
+	s.docs--
+	for _, tok := range distinct {
+		if s.df[tok] <= 1 {
+			delete(s.df, tok)
+		} else {
+			s.df[tok]--
+		}
+	}
+}
+
 // Docs returns the number of documents the statistics were built from.
 func (s *Stats) Docs() int { return s.docs }
+
+// SortedEntries returns the document-frequency entries in ascending token
+// order, for deterministic serialization.
+func (s *Stats) SortedEntries() (tokens []string, dfs []int) {
+	tokens = make([]string, 0, len(s.df))
+	for tok := range s.df {
+		tokens = append(tokens, tok)
+	}
+	sort.Strings(tokens)
+	dfs = make([]int, len(tokens))
+	for i, tok := range tokens {
+		dfs[i] = s.df[tok]
+	}
+	return tokens, dfs
+}
+
+// NewRestoredStats rebuilds statistics from previously serialized state:
+// the document count plus parallel token/df slices. One map insert per
+// distinct corpus token, so restoring is far cheaper than replaying
+// AddDocTokens over every document.
+func NewRestoredStats(docs int, tokens []string, dfs []int) *Stats {
+	s := &Stats{docs: docs, df: make(map[string]int, len(tokens))}
+	for i, tok := range tokens {
+		s.df[tok] = dfs[i]
+	}
+	return s
+}
 
 // IDF returns log(1 + N/df) for the token. Unseen tokens get the maximal
 // weight log(1 + N), treating them as df=1... strictly df=1 gives
