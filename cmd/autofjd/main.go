@@ -158,23 +158,27 @@ func run(args []string, stderr io.Writer, ready chan<- string, shutdown <-chan s
 	}
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	errc := make(chan error, 1)
+	//autofj:leak-ok errc is buffered (cap 1) and Serve returns once the server is shut down or closed, so the sender always exits
 	go func() { errc <- httpSrv.Serve(ln) }()
 	fmt.Fprintf(stderr, "autofjd: serving %d program(s) on %s\n", len(cfg.Programs), ln.Addr())
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
 
+	// Selecting on the signal channel directly (nil when the caller drives
+	// shutdown, so that arm never fires) avoids a forwarder goroutine that
+	// would stay parked on the signal receive forever when the server exits
+	// through the error path instead.
+	var sig chan os.Signal
 	if shutdown == nil {
-		sig := make(chan os.Signal, 1)
+		sig = make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		defer signal.Stop(sig)
-		ch := make(chan struct{})
-		go func() { <-sig; close(ch) }()
-		shutdown = ch
 	}
 	select {
 	case err := <-errc:
 		return err // listener failed before any shutdown request
+	case <-sig:
 	case <-shutdown:
 	}
 

@@ -7,7 +7,9 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 )
@@ -268,4 +270,52 @@ func TestDaemonFlagValidation(t *testing.T) {
 func jsonString(s string) string {
 	b, _ := json.Marshal(s)
 	return string(b)
+}
+
+// TestSignalShutdown drives the daemon's own signal path (nil shutdown
+// channel): a SIGTERM to the process must produce a clean graceful exit,
+// and no goroutine may stay parked afterwards — the regression guard for
+// the leaked signal-forwarder goroutine run used to spawn.
+func TestSignalShutdown(t *testing.T) {
+	dir := t.TempDir()
+	progPath := filepath.Join(dir, "prog.json")
+	leftPath := filepath.Join(dir, "left.csv")
+	writeFile(t, progPath, testProgramJSON)
+	writeFile(t, leftPath, "name\nalpha research institute\nbravo analytics bureau\n")
+
+	before := runtime.NumGoroutine()
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	var stderr bytes.Buffer
+	go func() {
+		done <- run([]string{
+			"-addr", "127.0.0.1:0",
+			"-name", "orgs", "-program", progPath, "-left", leftPath, "-column", "name",
+		}, &stderr, ready, nil)
+	}()
+	select {
+	case <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited before ready: %v (stderr: %s)", err, stderr.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run after SIGTERM: %v (stderr: %s)", err, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not stop on SIGTERM")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutines leaked across a daemon lifecycle: %d before, %d after", before, after)
+	}
 }

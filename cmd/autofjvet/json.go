@@ -1,0 +1,43 @@
+package main
+
+import (
+	"encoding/json"
+	"go/token"
+	"io"
+
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/analysis"
+)
+
+// jsonDiagnostic is the -json wire form of one finding: position split
+// into fields (so consumers need no file:line:col parsing), the analyzer
+// that fired, the human message, and — when the analyzer has a sanctioned
+// escape hatch — the //autofj: annotation that would accept the site.
+type jsonDiagnostic struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Column     int    `json:"column"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suggestion string `json:"suggestion,omitempty"`
+}
+
+// printJSON writes the diagnostics as one JSON array (never null: an
+// empty run emits [], so `jq length` works unconditionally), already
+// sorted by position because RunAnalyzers sorts them.
+func printJSON(w io.Writer, fset *token.FileSet, diags []analysis.Diagnostic) error {
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		out = append(out, jsonDiagnostic{
+			File:       pos.Filename,
+			Line:       pos.Line,
+			Column:     pos.Column,
+			Analyzer:   d.Analyzer,
+			Message:    d.Message,
+			Suggestion: d.Suggestion,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

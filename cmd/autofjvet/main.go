@@ -1,24 +1,34 @@
 // Command autofjvet is the repo's custom vet tool: a family of
 // analyzers that mechanically enforce the invariants the engine's
-// guarantees rest on — deterministic output (detrange), an
-// allocation-free steady state (hotpath), sync.Pool hygiene (poolsafe),
-// hot-swap safety (atomicswap), context propagation (ctxflow), and
-// hot-struct memory layout (fieldalign). See internal/analysis for the
-// rules and the //autofj: annotation grammar.
+// guarantees rest on — deterministic output (detrange locally, dettaint
+// across call edges), an allocation-free steady state (hotpath locally,
+// hotcall across call edges), sync.Pool hygiene (poolsafe), hot-swap
+// safety (atomicswap), context propagation (ctxflow), lock discipline
+// (lockhold), goroutine lifecycle (leakygo), and hot-struct memory
+// layout (fieldalign). The interprocedural analyzers consume per-
+// function summaries computed to fixpoint over the module call graph;
+// see internal/analysis for the engine and the //autofj: annotation
+// grammar.
 //
 // Two modes:
 //
-//	autofjvet [dir]
+//	autofjvet [-json] [dir]
 //	    Standalone: typecheck every package of the module containing
-//	    dir (default ".") from source and run all analyzers. Exits 1
-//	    if any diagnostic fires. No build cache or export data needed.
+//	    dir (default ".") from source, compute summaries module-wide,
+//	    and run all analyzers. Exits 1 if any diagnostic fires. No
+//	    build cache or export data needed. -json emits the diagnostics
+//	    as a machine-readable JSON array on stdout (file, line, column,
+//	    analyzer, message, and the annotation that would accept the
+//	    site) for CI artifacts and editor tooling.
 //
 //	go vet -vettool=$(go run ./cmd/autofjvet -print-path) ./...
 //	    Vet-tool: speaks cmd/go's unitchecker protocol (-V=full,
 //	    -flags, *.cfg) so the toolchain drives it package by package
-//	    with compiler export data. -print-path copies the binary to a
-//	    stable location and prints it, because `go run` binaries live
-//	    in a temp dir that is gone before vet can exec them.
+//	    with compiler export data; each unit's vetx facts file carries
+//	    its function summaries to dependent units. -print-path copies
+//	    the binary to a stable location and prints it, because `go run`
+//	    binaries live in a temp dir that is gone before vet can exec
+//	    them.
 package main
 
 import (
@@ -33,8 +43,9 @@ import (
 )
 
 func main() {
-	args := os.Args[1:]
-	for _, a := range args {
+	var rest []string
+	jsonOut := false
+	for _, a := range os.Args[1:] {
 		switch {
 		case a == "-V=full" || a == "--V=full":
 			printVersion()
@@ -47,15 +58,19 @@ func main() {
 		case a == "-print-path" || a == "--print-path":
 			printPath()
 			return
+		case a == "-json" || a == "--json":
+			jsonOut = true
 		case a == "-h" || a == "-help" || a == "--help":
-			fmt.Fprintln(os.Stderr, "usage: autofjvet [dir] | autofjvet -print-path | go vet -vettool=autofjvet")
+			fmt.Fprintln(os.Stderr, "usage: autofjvet [-json] [dir] | autofjvet -print-path | go vet -vettool=autofjvet")
 			os.Exit(2)
+		default:
+			rest = append(rest, a)
 		}
 	}
-	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
-		os.Exit(runUnitchecker(args[0]))
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		os.Exit(runUnitchecker(rest[0]))
 	}
-	os.Exit(runStandalone(args))
+	os.Exit(runStandalone(rest, jsonOut))
 }
 
 // printVersion implements the -V=full handshake: cmd/go fingerprints
@@ -128,13 +143,14 @@ func copyFile(dst, src string) error {
 }
 
 // runStandalone loads the whole module from source and runs every
-// analyzer, printing file:line:col diagnostics.
-func runStandalone(args []string) int {
+// analyzer, printing file:line:col diagnostics (or, with -json, a
+// machine-readable array on stdout).
+func runStandalone(args []string, jsonOut bool) int {
 	dir := "."
 	if len(args) == 1 {
 		dir = args[0]
 	} else if len(args) > 1 {
-		fmt.Fprintln(os.Stderr, "usage: autofjvet [dir]")
+		fmt.Fprintln(os.Stderr, "usage: autofjvet [-json] [dir]")
 		return 2
 	}
 	root, err := findModuleRoot(dir)
@@ -157,8 +173,15 @@ func runStandalone(args []string) int {
 		fmt.Fprintln(os.Stderr, "autofjvet:", err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", loader.Fset.Position(d.Pos), d.Message, d.Analyzer)
+	if jsonOut {
+		if err := printJSON(os.Stdout, loader.Fset, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "autofjvet:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", loader.Fset.Position(d.Pos), d.Message, d.Analyzer)
+		}
 	}
 	if len(diags) > 0 {
 		return 1

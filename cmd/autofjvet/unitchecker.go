@@ -4,16 +4,22 @@ package main
 // it execs X once per package with a single argument, the path to a
 // JSON *.cfg file describing the compilation unit — file list, import
 // map, and the export-data files of every dependency. The tool
-// typechecks from those, runs its analyzers, writes the (possibly
-// empty) facts file cmd/go asked for, and reports diagnostics on
-// stderr with a nonzero exit. Dependency packages arrive with
-// VetxOnly=true and want only the facts file, no analysis.
+// typechecks from those, runs its analyzers, writes the facts file
+// cmd/go asked for, and reports diagnostics on stderr with a nonzero
+// exit. Dependency packages arrive with VetxOnly=true and want only the
+// facts file, no analysis.
 //
 // This file is a stdlib-only reimplementation of that contract (the
 // reference lives in golang.org/x/tools/go/analysis/unitchecker, which
-// this module deliberately does not depend on). Facts are not used by
-// any autofjvet analyzer — every rule is package-local — so the vetx
-// files written here are empty placeholders.
+// this module deliberately does not depend on). The vetx facts files
+// carry the interprocedural function summaries (analysis.SummarySet,
+// JSON-encoded): a module package's unit computes its functions'
+// summaries — seeded with the summaries its dependencies' vetx files
+// recorded — and persists them for dependents, so hotcall, dettaint,
+// lockhold and leakygo see through cross-package calls even though each
+// unit is typechecked alone. Standard-library units write empty facts;
+// their blocking/allocating behavior comes from the curated table in
+// internal/analysis instead.
 
 import (
 	"encoding/json"
@@ -25,6 +31,7 @@ import (
 	"go/types"
 	"io"
 	"os"
+	"strings"
 
 	"github.com/chu-data-lab/autofuzzyjoin-go/internal/analysis"
 )
@@ -61,10 +68,19 @@ func runUnitchecker(cfgPath string) int {
 		fmt.Fprintf(os.Stderr, "autofjvet: parsing %s: %v\n", cfgPath, err)
 		return 1
 	}
-	// Dependencies only want their facts file; no autofjvet analyzer
-	// exports facts, so satisfy cmd/go with an empty one and stop.
-	if cfg.VetxOnly {
-		if err := writeVetx(cfg.VetxOutput); err != nil {
+
+	// Only units inside a module get real summaries (cmd/go leaves
+	// ModulePath empty for standard-library units). Summarizing stdlib
+	// bodies would surface runtime internals — fmt's reflect panic paths
+	// "block", sync.Pool's slow path "allocates" — as facts about every
+	// caller; the curated table in internal/analysis covers the stdlib
+	// behavior that matters instead, exactly as in standalone mode. A
+	// non-module dependency just gets the empty facts file cmd/go wants,
+	// with no typecheck at all.
+	inModule := cfg.ModulePath != "" &&
+		(cfg.ImportPath == cfg.ModulePath || strings.HasPrefix(cfg.ImportPath, cfg.ModulePath+"/"))
+	if cfg.VetxOnly && !inModule {
+		if err := writeVetx(cfg.VetxOutput, nil, ""); err != nil {
 			fmt.Fprintln(os.Stderr, "autofjvet:", err)
 			return 1
 		}
@@ -125,13 +141,32 @@ func runUnitchecker(cfgPath string) int {
 		return 1
 	}
 
-	pkg := &analysis.Package{PkgPath: cfg.ImportPath, Dir: cfg.Dir, Files: files, Types: tpkg, Info: info}
-	diags, err := analysis.RunAnalyzers(fset, []*analysis.Package{pkg}, analysis.All())
+	prior, err := readPriorFacts(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "autofjvet:", err)
 		return 1
 	}
-	if err := writeVetx(cfg.VetxOutput); err != nil {
+
+	pkg := &analysis.Package{PkgPath: cfg.ImportPath, Dir: cfg.Dir, Files: files, Types: tpkg, Info: info}
+	pkgs := []*analysis.Package{pkg}
+
+	// A dependency unit wants only its facts: compute this package's
+	// summaries (seeded with its own dependencies' facts) and stop.
+	if cfg.VetxOnly {
+		summaries := analysis.ComputeSummaries(fset, pkgs, prior)
+		if err := writeVetx(cfg.VetxOutput, summaries, cfg.ImportPath); err != nil {
+			fmt.Fprintln(os.Stderr, "autofjvet:", err)
+			return 1
+		}
+		return 0
+	}
+
+	diags, summaries, err := analysis.RunAnalyzersWithSummaries(fset, pkgs, analysis.All(), prior)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "autofjvet:", err)
+		return 1
+	}
+	if err := writeVetx(cfg.VetxOutput, summaries, cfg.ImportPath); err != nil {
 		fmt.Fprintln(os.Stderr, "autofjvet:", err)
 		return 1
 	}
@@ -144,11 +179,43 @@ func runUnitchecker(cfgPath string) int {
 	return 0
 }
 
-func writeVetx(path string) error {
+// readPriorFacts merges every dependency's vetx facts file into one
+// summary set. Missing and empty files are fine — stdlib units write
+// empty facts, and a unit built by an older tool contributes nothing.
+func readPriorFacts(cfg vetConfig) (*analysis.SummarySet, error) {
+	prior := analysis.NewSummarySet()
+	for path, vetxFile := range cfg.PackageVetx {
+		data, err := os.ReadFile(vetxFile)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return nil, err
+		}
+		if err := prior.MergeEncoded(data, path); err != nil {
+			return nil, err
+		}
+	}
+	return prior, nil
+}
+
+// writeVetx persists the unit's own function summaries (the pkgPath
+// slice of the set — dependency facts already live in their own vetx
+// files) as its facts file. A nil set (or a unit defining no functions)
+// writes an empty file, which MergeEncoded treats as "no facts".
+func writeVetx(path string, summaries *analysis.SummarySet, pkgPath string) error {
 	if path == "" {
 		return nil
 	}
-	return os.WriteFile(path, nil, 0o666)
+	var data []byte
+	if summaries != nil {
+		var err error
+		data, err = summaries.EncodePackage(pkgPath)
+		if err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(path, data, 0o666)
 }
 
 type importerFunc func(string) (*types.Package, error)

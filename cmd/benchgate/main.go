@@ -10,9 +10,18 @@
 //
 //	go test -run '^$' -bench ... -benchmem ./... | tee bench.out
 //	go run ./cmd/benchgate -budgets bench_budgets.json bench.out
+//	go run ./cmd/benchgate -budgets bench_budgets.json -update bench.out
 //
 // With no file argument the bench output is read from stdin. Exits 1
 // when a budgeted benchmark is missing or over budget.
+//
+// -update regenerates the budget file instead of gating: every budgeted
+// benchmark's allocs/op is reset to the worst observation in the input,
+// so a deliberate perf change ratchets the budgets in one command
+// instead of eight hand edits. The gated set itself stays curated —
+// benchmarks not already in the file are not added, and a budgeted
+// benchmark missing from the input is an error, so -update can never
+// silently drop a gate.
 package main
 
 import (
@@ -40,6 +49,7 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
 
 func main() {
 	budgetsPath := flag.String("budgets", "bench_budgets.json", "JSON file mapping benchmark name to {\"allocs_op\": N}")
+	update := flag.Bool("update", false, "rewrite the budget file from the bench run instead of gating")
 	flag.Parse()
 
 	budgets := map[string]budget{}
@@ -63,10 +73,39 @@ func main() {
 		defer f.Close()
 		in = f
 	} else if flag.NArg() > 1 {
-		fmt.Fprintln(os.Stderr, "usage: benchgate [-budgets file.json] [bench-output-file]")
+		fmt.Fprintln(os.Stderr, "usage: benchgate [-budgets file.json] [-update] [bench-output-file]")
 		os.Exit(2)
 	}
 
+	measured, err := parseBench(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+
+	if *update {
+		updated, err := updateBudgets(budgets, measured)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*budgetsPath, updated, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("updated %s (%d budgets)\n", *budgetsPath, len(budgets))
+		return
+	}
+
+	if !gate(os.Stdout, budgets, measured) {
+		os.Exit(1)
+	}
+}
+
+// parseBench scans -benchmem output and returns each benchmark's worst
+// (highest) observed allocs/op — a benchmark can appear more than once
+// under -count, and the gate judges the worst run.
+func parseBench(in io.Reader) (map[string]int64, error) {
 	measured := map[string]int64{}
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -75,40 +114,67 @@ func main() {
 		if !ok {
 			continue
 		}
-		// A benchmark can appear more than once (-count); gate on the
-		// worst observation.
 		if prev, seen := measured[name]; !seen || allocs > prev {
 			measured[name] = allocs
 		}
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchgate:", err)
-		os.Exit(2)
+		return nil, err
 	}
+	return measured, nil
+}
 
+// gate prints one verdict line per budgeted benchmark (sorted by name)
+// and reports whether every one was present and within budget.
+func gate(w io.Writer, budgets map[string]budget, measured map[string]int64) bool {
 	names := make([]string, 0, len(budgets))
 	for name := range budgets {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	failed := false
+	ok := true
 	for _, name := range names {
 		b := budgets[name]
-		got, ok := measured[name]
+		got, seen := measured[name]
 		switch {
-		case !ok:
-			fmt.Printf("MISSING  %-40s budget %d allocs/op, benchmark not in input\n", name, b.AllocsOp)
-			failed = true
+		case !seen:
+			fmt.Fprintf(w, "MISSING  %-40s budget %d allocs/op, benchmark not in input\n", name, b.AllocsOp)
+			ok = false
 		case got > b.AllocsOp:
-			fmt.Printf("OVER     %-40s %d allocs/op > budget %d\n", name, got, b.AllocsOp)
-			failed = true
+			fmt.Fprintf(w, "OVER     %-40s %d allocs/op > budget %d\n", name, got, b.AllocsOp)
+			ok = false
 		default:
-			fmt.Printf("ok       %-40s %d allocs/op (budget %d)\n", name, got, b.AllocsOp)
+			fmt.Fprintf(w, "ok       %-40s %d allocs/op (budget %d)\n", name, got, b.AllocsOp)
 		}
 	}
-	if failed {
-		os.Exit(1)
+	return ok
+}
+
+// updateBudgets returns the regenerated budget file: the same curated
+// benchmark set, each budget reset to the worst measured allocs/op.
+// Every budgeted benchmark must appear in the input — refreshing from a
+// partial bench run would silently pin stale numbers.
+func updateBudgets(budgets map[string]budget, measured map[string]int64) ([]byte, error) {
+	names := make([]string, 0, len(budgets))
+	for name := range budgets {
+		names = append(names, name)
 	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString("{\n")
+	for i, name := range names {
+		got, seen := measured[name]
+		if !seen {
+			return nil, fmt.Errorf("-update: budgeted benchmark %s not in input; run the full bench suite", name)
+		}
+		if i > 0 {
+			b.WriteString(",\n")
+		}
+		key, _ := json.Marshal(name)
+		fmt.Fprintf(&b, "  %s: { \"allocs_op\": %d }", key, got)
+	}
+	b.WriteString("\n}\n")
+	return []byte(b.String()), nil
 }
 
 // parseLine extracts the benchmark name and allocs/op from one output

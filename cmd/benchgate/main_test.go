@@ -1,0 +1,130 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// sampleBench is representative `go test -bench -benchmem` output:
+// noise lines, GOMAXPROCS suffixes, a sub-benchmark, a duplicate run
+// with a worse allocs/op, and a benchmark without a budget.
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: example.com/core
+cpu: Some CPU @ 2.00GHz
+BenchmarkMatcherMatch-8         	    1000	   1200345 ns/op	   35000 B/op	     350 allocs/op
+BenchmarkMatcherMatch-8         	    1000	   1190000 ns/op	   36000 B/op	     360 allocs/op
+BenchmarkEvaluator/fused-8      	  500000	      2100 ns/op	      16 B/op	       1 allocs/op
+BenchmarkBlockingTopK-8         	  200000	      6100 ns/op	       0 B/op	       0 allocs/op
+BenchmarkUnbudgeted-8           	  100000	     10000 ns/op	     128 B/op	       4 allocs/op
+PASS
+ok  	example.com/core	12.3s
+`
+
+func sampleMeasured(t *testing.T) map[string]int64 {
+	t.Helper()
+	m, err := parseBench(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestParseBench(t *testing.T) {
+	m := sampleMeasured(t)
+	want := map[string]int64{
+		"BenchmarkMatcherMatch":    360, // worst of the two -count runs
+		"BenchmarkEvaluator/fused": 1,
+		"BenchmarkBlockingTopK":    0,
+		"BenchmarkUnbudgeted":      4,
+	}
+	if len(m) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(m), len(want), m)
+	}
+	for name, allocs := range want {
+		if m[name] != allocs {
+			t.Errorf("%s = %d allocs/op, want %d", name, m[name], allocs)
+		}
+	}
+}
+
+func TestGate(t *testing.T) {
+	m := sampleMeasured(t)
+	budgets := map[string]budget{
+		"BenchmarkMatcherMatch":    {AllocsOp: 400},
+		"BenchmarkEvaluator/fused": {AllocsOp: 1},
+		"BenchmarkBlockingTopK":    {AllocsOp: 0},
+	}
+	var out strings.Builder
+	if !gate(&out, budgets, m) {
+		t.Fatalf("gate failed on within-budget input:\n%s", out.String())
+	}
+
+	budgets["BenchmarkMatcherMatch"] = budget{AllocsOp: 300}
+	out.Reset()
+	if gate(&out, budgets, m) {
+		t.Fatal("gate passed with an over-budget benchmark")
+	}
+	if !strings.Contains(out.String(), "OVER") || !strings.Contains(out.String(), "BenchmarkMatcherMatch") {
+		t.Errorf("over-budget verdict not reported:\n%s", out.String())
+	}
+
+	budgets["BenchmarkMatcherMatch"] = budget{AllocsOp: 400}
+	budgets["BenchmarkAbsent"] = budget{AllocsOp: 5}
+	out.Reset()
+	if gate(&out, budgets, m) {
+		t.Fatal("gate passed with a budgeted benchmark missing from the input")
+	}
+	if !strings.Contains(out.String(), "MISSING") {
+		t.Errorf("missing-benchmark verdict not reported:\n%s", out.String())
+	}
+}
+
+func TestUpdateBudgets(t *testing.T) {
+	m := sampleMeasured(t)
+	budgets := map[string]budget{
+		"BenchmarkMatcherMatch":    {AllocsOp: 400},
+		"BenchmarkEvaluator/fused": {AllocsOp: 1},
+		"BenchmarkBlockingTopK":    {AllocsOp: 7},
+	}
+	data, err := updateBudgets(budgets, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The output must parse back as a budget file with the same curated
+	// key set — measured values adopted, unbudgeted benchmarks not added.
+	reparsed := map[string]budget{}
+	if err := json.Unmarshal(data, &reparsed); err != nil {
+		t.Fatalf("regenerated file does not parse: %v\n%s", err, data)
+	}
+	want := map[string]int64{
+		"BenchmarkMatcherMatch":    360,
+		"BenchmarkEvaluator/fused": 1,
+		"BenchmarkBlockingTopK":    0,
+	}
+	if len(reparsed) != len(want) {
+		t.Fatalf("regenerated %d budgets, want %d:\n%s", len(reparsed), len(want), data)
+	}
+	for name, allocs := range want {
+		if reparsed[name].AllocsOp != allocs {
+			t.Errorf("%s budget = %d, want measured %d", name, reparsed[name].AllocsOp, allocs)
+		}
+	}
+	if _, ok := reparsed["BenchmarkUnbudgeted"]; ok {
+		t.Error("-update added a benchmark that was not in the curated set")
+	}
+
+	// The regenerated gate must pass against the same run.
+	var out strings.Builder
+	if !gate(&out, reparsed, m) {
+		t.Errorf("regenerated budgets fail their own bench run:\n%s", out.String())
+	}
+
+	// A partial run must refuse to update rather than pin stale numbers.
+	budgets["BenchmarkAbsent"] = budget{AllocsOp: 2}
+	if _, err := updateBudgets(budgets, m); err == nil {
+		t.Error("-update accepted input missing a budgeted benchmark")
+	}
+}

@@ -43,6 +43,13 @@ type Pass struct {
 	TypesSizes types.Sizes
 	Report     func(Diagnostic)
 
+	// Summaries holds the interprocedural per-function facts computed
+	// over every package in the run (plus any facts imported from
+	// dependency vetx files in unitchecker mode). The summary-driven
+	// analyzers (hotcall, dettaint, lockhold, leakygo) consume it; it
+	// is never nil when RunAnalyzers drives the pass.
+	Summaries *SummarySet
+
 	ann *annIndex // lazily built annotation index
 }
 
@@ -51,6 +58,10 @@ type Diagnostic struct {
 	Pos      token.Pos
 	Analyzer string
 	Message  string
+	// Suggestion is the annotation that would accept this site as a
+	// deliberate exception (e.g. "//autofj:alloc-ok <reason>"), carried
+	// separately so -json consumers can offer it mechanically.
+	Suggestion string
 }
 
 // Reportf reports a formatted diagnostic at pos.

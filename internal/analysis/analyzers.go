@@ -2,18 +2,26 @@ package analysis
 
 // All returns every autofjvet analyzer, in the order diagnostics should
 // be grouped when positions tie. The set is the repo's invariant
-// contract: determinism (detrange), steady-state allocation discipline
-// (hotpath), pool hygiene (poolsafe), hot-swap safety (atomicswap),
-// cancellation flow (ctxflow), memory layout (fieldalign), and the
-// annotation grammar that keeps all the escapes honest (directives).
+// contract: determinism (detrange and its interprocedural extension
+// dettaint), steady-state allocation discipline (hotpath locally,
+// hotcall across call edges), pool hygiene (poolsafe), hot-swap safety
+// (atomicswap), cancellation flow (ctxflow), goroutine lifecycle
+// (leakygo), lock discipline (lockhold), memory layout (fieldalign),
+// and the annotation grammar that keeps all the escapes honest
+// (directives). The last four consume the interprocedural summary
+// engine (summary.go) over the call graph (callgraph.go).
 func All() []*Analyzer {
 	return []*Analyzer{
 		Directives,
 		DetRange,
+		DetTaint,
 		HotPath,
+		HotCall,
 		PoolSafe,
 		AtomicSwap,
 		CtxFlow,
+		LockHold,
+		LeakyGo,
 		FieldAlign,
 	}
 }

@@ -49,3 +49,25 @@ func TestFieldAlignOutOfScope(t *testing.T) {
 func TestDirectives(t *testing.T) {
 	analysistest.Run(t, fixture("directives"), "example.com/directives", analysis.Directives)
 }
+
+func TestHotCall(t *testing.T) {
+	analysistest.Run(t, fixture("hotcall"), "example.com/hotcall", analysis.HotCall)
+}
+
+func TestDetTaint(t *testing.T) {
+	analysistest.Run(t, fixture("dettaint"), "example.com/internal/core/dettaint", analysis.DetTaint)
+}
+
+// The same tainted fixture under an out-of-scope import path must be
+// silent: dettaint only polices result-producing packages.
+func TestDetTaintOutOfScope(t *testing.T) {
+	analysistest.RunNoDiagnostics(t, fixture("dettaint"), "example.com/internal/benchgen/dettaint", analysis.DetTaint)
+}
+
+func TestLockHold(t *testing.T) {
+	analysistest.Run(t, fixture("lockhold"), "example.com/lockhold", analysis.LockHold)
+}
+
+func TestLeakyGo(t *testing.T) {
+	analysistest.Run(t, fixture("leakygo"), "example.com/leakygo", analysis.LeakyGo)
+}

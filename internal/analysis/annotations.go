@@ -28,6 +28,15 @@ import (
 //	//autofj:layout-ok <reason>
 //	    On a struct type declaration: field order is deliberate (wire
 //	    format, doc grouping) and outweighs padding savings.
+//	//autofj:blocking <reason>
+//	    On a call statement inside a lock-held region: blocking here
+//	    with the lock held is deliberate (lockhold accepts the site).
+//	    On a function's doc comment: assert the function blocks in a
+//	    way the summary scan cannot see (cgo, syscalls) — the fact is
+//	    added to its interprocedural summary.
+//	//autofj:leak-ok <reason>
+//	    On (or directly above) a go statement: the goroutine is
+//	    deliberately process-lifetime (no cancellation path needed).
 //
 // Every verb except hotpath requires a reason; the directives analyzer
 // enforces that and rejects unknown verbs, so a typo can never silently
@@ -42,10 +51,12 @@ var directiveVerbs = map[string]bool{
 	"alloc-ok":  true,
 	"keep":      true,
 	"layout-ok": true,
+	"blocking":  true,
+	"leak-ok":   true,
 }
 
 // verbsNeedingReason lists the verbs that must carry a justification.
-var verbsNeedingReason = []string{"nondet-ok", "ctx-ok", "alloc-ok", "keep", "layout-ok"}
+var verbsNeedingReason = []string{"nondet-ok", "ctx-ok", "alloc-ok", "keep", "layout-ok", "blocking", "leak-ok"}
 
 // A directive is one parsed //autofj: annotation.
 type directive struct {
@@ -147,7 +158,7 @@ var Directives = &Analyzer{
 		for _, d := range pass.annotations().all {
 			switch {
 			case !directiveVerbs[d.Verb]:
-				pass.Reportf(d.Pos, "unknown autofjvet annotation //autofj:%s (known verbs: hotpath, nondet-ok, ctx-ok, alloc-ok, keep, layout-ok)", d.Verb)
+				pass.Reportf(d.Pos, "unknown autofjvet annotation //autofj:%s (known verbs: hotpath, nondet-ok, ctx-ok, alloc-ok, keep, layout-ok, blocking, leak-ok)", d.Verb)
 			case needReason[d.Verb] && d.Reason == "":
 				pass.Reportf(d.Pos, "//autofj:%s needs a reason: //autofj:%s <why this exception is sound>", d.Verb, d.Verb)
 			}

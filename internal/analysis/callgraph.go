@@ -1,0 +1,242 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// callgraph.go builds the module-wide call graph the summary engine
+// (summary.go) runs its fixpoint over. Every function declaration with a
+// body in the analyzed packages becomes a FuncNode; every statically
+// resolvable call inside it becomes a CallSite edge. Dynamic calls
+// (interface methods with unknown concrete type, calls through function
+// values) have no edge — the analyzers that consume summaries treat a
+// missing callee as "unknown" and stay silent rather than guess, with
+// one exception: interface methods carried in the curated stdlib fact
+// table (io.Reader.Read and friends) resolve by their interface
+// identity, which is exactly the pessimistic reading a blocking-IO
+// check wants.
+
+// A CallSite is one static call edge out of a function body.
+type CallSite struct {
+	Call   *ast.CallExpr
+	Callee *types.Func
+	// InGo marks a call that is the operand of a go statement: the
+	// callee runs on another goroutine, so its blocking/allocation
+	// facts do not transfer to the caller (leakygo judges it instead).
+	InGo bool
+	// InDefer marks a deferred call; it still runs on the caller's
+	// goroutine and its facts transfer normally.
+	InDefer bool
+	// FlowsToReturn reports that the call's result is (directly or via
+	// a local variable) part of a return statement of the enclosing
+	// function — the conduit map-iteration-order taint escapes through.
+	FlowsToReturn bool
+	// SortedAfter reports a sort.* / slices.Sort* call positioned at or
+	// after this call in the enclosing function: a sort barrier that
+	// launders iteration-order taint back to deterministic.
+	SortedAfter bool
+}
+
+// A FuncNode is one module function in the call graph.
+type FuncNode struct {
+	Obj   *types.Func
+	Decl  *ast.FuncDecl
+	Pkg   *Package
+	Calls []CallSite
+	// HotPath records a //autofj:hotpath doc annotation, so callers in
+	// other packages can see it through the summary without the source.
+	HotPath bool
+}
+
+// A CallGraph holds every function of the analyzed packages in a
+// deterministic order (package path, then file position), so the
+// summary fixpoint — and therefore every diagnostic message derived
+// from it — is identical across runs and machines.
+type CallGraph struct {
+	Nodes []*FuncNode
+	ByObj map[*types.Func]*FuncNode
+}
+
+// BuildCallGraph constructs the call graph over the given packages.
+func BuildCallGraph(pkgs []*Package) *CallGraph {
+	g := &CallGraph{ByObj: map[*types.Func]*FuncNode{}}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				node := &FuncNode{
+					Obj:     obj,
+					Decl:    fd,
+					Pkg:     pkg,
+					HotPath: docHasDirective(fd.Doc, "hotpath"),
+				}
+				node.Calls = collectCalls(pkg.Info, fd)
+				g.Nodes = append(g.Nodes, node)
+				g.ByObj[obj] = node
+			}
+		}
+	}
+	sort.Slice(g.Nodes, func(i, j int) bool {
+		if g.Nodes[i].Pkg.PkgPath != g.Nodes[j].Pkg.PkgPath {
+			return g.Nodes[i].Pkg.PkgPath < g.Nodes[j].Pkg.PkgPath
+		}
+		return g.Nodes[i].Decl.Pos() < g.Nodes[j].Decl.Pos()
+	})
+	return g
+}
+
+// StaticCallee resolves the function a call expression statically
+// invokes: a package-level function, a method on a concrete receiver,
+// or an interface method (returned with its interface identity — the
+// caller decides whether pessimistic facts apply). Calls through plain
+// function values and built-ins return nil.
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		// Package-qualified function: pkg.F.
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// collectCalls walks fd's body and records every statically resolvable
+// call edge, annotated with the flags the summary fixpoint needs.
+// Function-literal bodies are excluded: a closure's effects belong to
+// whoever runs it, and attributing them to the lexically enclosing
+// function would mark a goroutine spawner as blocking because the
+// spawned body blocks.
+func collectCalls(info *types.Info, fd *ast.FuncDecl) []CallSite {
+	var sites []CallSite
+	returned := returnedBases(fd)
+	sortPositions := sortCallPositions(info, fd)
+	inspectStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := StaticCallee(info, call)
+		if callee == nil {
+			return true
+		}
+		site := CallSite{Call: call, Callee: callee}
+		for i := len(stack) - 1; i >= 0; i-- {
+			switch s := stack[i].(type) {
+			case *ast.GoStmt:
+				if s.Call == call {
+					site.InGo = true
+				}
+			case *ast.DeferStmt:
+				if s.Call == call {
+					site.InDefer = true
+				}
+			}
+		}
+		site.FlowsToReturn = flowsToReturn(call, stack, returned)
+		for _, p := range sortPositions {
+			if p >= call.End() {
+				site.SortedAfter = true
+				break
+			}
+		}
+		sites = append(sites, site)
+		return true
+	})
+	return sites
+}
+
+// returnedBases collects the base expressions (exprBase form) of every
+// return operand in fd, so flowsToReturn can match a call result that
+// travels through a local variable into a return.
+func returnedBases(fd *ast.FuncDecl) map[string]bool {
+	out := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, r := range ret.Results {
+			if b := exprBase(r); b != "" {
+				out[b] = true
+			}
+		}
+		return true
+	})
+	// Named results are returned by a bare `return` even if no return
+	// statement mentions them.
+	if fd.Type.Results != nil {
+		for _, f := range fd.Type.Results.List {
+			for _, name := range f.Names {
+				out[name.Name] = true
+			}
+		}
+	}
+	return out
+}
+
+// flowsToReturn reports whether the call's result can reach a return of
+// the enclosing function: the call appears inside a return statement,
+// or its result is assigned to a variable whose base is returned
+// somewhere.
+func flowsToReturn(call *ast.CallExpr, stack []ast.Node, returned map[string]bool) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch s := stack[i].(type) {
+		case *ast.ReturnStmt:
+			return true
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				if b := exprBase(lhs); b != "" && returned[b] {
+					return true
+				}
+			}
+			return false
+		case *ast.ExprStmt:
+			return false
+		}
+	}
+	return false
+}
+
+// sortCallPositions returns the end positions of every sort-barrier call
+// (package sort, slices.Sort*) in fd, ascending.
+func sortCallPositions(info *types.Info, fd *ast.FuncDecl) []token.Pos {
+	var out []token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if pkg, name, ok := pkgFuncCall(info, call); ok {
+			if pkg == "sort" || (pkg == "slices" && (name == "Sort" || name == "SortFunc" || name == "SortStableFunc")) {
+				out = append(out, call.End())
+			}
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

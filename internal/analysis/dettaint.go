@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// DetTaint is the interprocedural generalization of detrange: it tracks
+// map-iteration order escaping through *call returns*. detrange flags a
+// map range in the same function that feeds results; it cannot see a
+// helper — possibly in another package — that ranges a map into a slice
+// and returns it to a result-producing caller. The summary engine marks
+// such helpers OrderEscapes (including maps.Keys/maps.Values iterator
+// forms and transitive forwarding), and DetTaint reports the call sites
+// in result-producing packages where the tainted value is consumed with
+// no sort barrier between the call and its use.
+//
+// A call is exempt when:
+//   - its result is discarded (nothing downstream observes the order);
+//   - a sort.* / slices.Sort* call follows it in the same function (the
+//     collect-then-sort idiom: order cannot survive the sort);
+//   - the enclosing function merely *forwards* the taint to its own
+//     caller — its summary is then OrderEscapes itself, and the eventual
+//     consumer's call site is where the report belongs;
+//   - the site is annotated //autofj:nondet-ok <reason>.
+var DetTaint = &Analyzer{
+	Name: "dettaint",
+	Doc:  "flag calls in result-producing packages that consume map-iteration-ordered results unsorted",
+	Run:  runDetTaint,
+}
+
+func runDetTaint(pass *Pass) error {
+	if pass.Summaries == nil || !pass.pathContains(resultPackages...) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkTaintedCalls(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkTaintedCalls(pass *Pass, fd *ast.FuncDecl) {
+	// The enclosing function's own summary decides the forwarding
+	// exemption below.
+	var selfSum *Summary
+	if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+		selfSum = pass.Summaries.Lookup(obj)
+	}
+
+	returned := returnedBases(fd)
+	sortPositions := sortCallPositions(pass.TypesInfo, fd)
+	inspectStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := StaticCallee(pass.TypesInfo, call)
+		if callee == nil {
+			return true
+		}
+		sum := pass.Summaries.Lookup(callee)
+		if sum == nil || !sum.OrderEscapes {
+			return true
+		}
+		if _, ok := pass.directiveAt(call.Pos(), "nondet-ok"); ok {
+			return true
+		}
+		// Result discarded: the order is unobservable.
+		if len(stack) > 0 {
+			if _, ok := stack[len(stack)-1].(*ast.ExprStmt); ok {
+				return true
+			}
+		}
+		// Sort barrier after the call launders the order.
+		for _, p := range sortPositions {
+			if p >= call.End() {
+				return true
+			}
+		}
+		// Pure forwarding: this call is what makes fd itself tainted;
+		// the consumer further up gets the report instead.
+		if selfSum != nil && selfSum.OrderEscapes && flowsToReturn(call, stack, returned) {
+			return true
+		}
+		name := shortFuncName(summaryKey(callee))
+		pass.Report(Diagnostic{
+			Pos:      call.Pos(),
+			Analyzer: pass.Analyzer.Name,
+			Message: fmt.Sprintf("result of %s depends on map iteration order (%s at %s) and this package produces results; sort it before use or annotate //autofj:nondet-ok <reason>",
+				name, sum.OrderWhat, sum.OrderAt),
+			Suggestion: "//autofj:nondet-ok <reason>",
+		})
+		return true
+	})
+}

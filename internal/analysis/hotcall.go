@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// HotCall is the interprocedural completion of hotpath: a function
+// annotated //autofj:hotpath must not *call* its way into an
+// allocation, either. The hotpath analyzer only inspects the annotated
+// body, so before this analyzer existed a hot function could outsource
+// a map literal or a strings.Split to an unannotated helper and pass
+// vet clean. HotCall walks every call site inside a hotpath function
+// and consults the callee's interprocedural summary (summary.go): a
+// callee that may allocate — anywhere down its own call tree — is
+// reported at the call site, with the blame chain to the leaf cause.
+//
+// Exemptions:
+//   - callees themselves annotated //autofj:hotpath: their bodies are
+//     policed directly, and a clean hotpath callee has MayAlloc=false
+//     anyway, so flagging the edge would only double-report;
+//   - call sites annotated //autofj:alloc-ok <reason> (a deliberate
+//     cold-path call from a hot function);
+//   - callees the summary engine cannot see (dynamic calls, externals
+//     outside the curated stdlib fact table): unknown is not reported.
+var HotCall = &Analyzer{
+	Name: "hotcall",
+	Doc:  "check that //autofj:hotpath functions do not transitively reach allocating callees",
+	Run:  runHotCall,
+}
+
+func runHotCall(pass *Pass) error {
+	if pass.Summaries == nil {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !docHasDirective(fd.Doc, "hotpath") {
+				continue
+			}
+			checkHotCalls(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkHotCalls(pass *Pass, fd *ast.FuncDecl) {
+	inspectStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			// The closure value is hotpath's problem; its body runs
+			// under whoever calls it.
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := StaticCallee(pass.TypesInfo, call)
+		if callee == nil {
+			return true
+		}
+		if obj, ok := pass.TypesInfo.Defs[fd.Name]; ok && obj == callee {
+			return true // direct recursion: this body is being checked already
+		}
+		sum := pass.Summaries.Lookup(callee)
+		if sum == nil || sum.HotPath || !sum.MayAlloc {
+			return true
+		}
+		if _, ok := pass.directiveAt(call.Pos(), "alloc-ok"); ok {
+			return true
+		}
+		name := shortFuncName(summaryKey(callee))
+		chain := name
+		if len(sum.AllocPath) > 0 {
+			chain = name + " -> " + strings.Join(sum.AllocPath, " -> ")
+		}
+		pass.Report(Diagnostic{
+			Pos:      call.Pos(),
+			Analyzer: pass.Analyzer.Name,
+			Message: fmt.Sprintf("call to %s allocates transitively in hotpath function %s: %s — %s (%s); make the callee hotpath-clean or annotate //autofj:alloc-ok <reason>",
+				name, fd.Name.Name, chain, sum.AllocWhat, sum.AllocAt),
+			Suggestion: "//autofj:alloc-ok <reason>",
+		})
+		return true
+	})
+}

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
@@ -27,7 +28,11 @@ import (
 //     interface-typed parameter
 //
 // Individual statements escape with //autofj:alloc-ok <reason> (e.g. a
-// cold error path inside an otherwise hot function).
+// cold error path inside an otherwise hot function). The same scan,
+// applied to unannotated functions, feeds the may-allocate fact of the
+// interprocedural summary engine (summary.go) that the hotcall analyzer
+// consumes — so a hotpath function cannot outsource its allocations to
+// a helper.
 var HotPath = &Analyzer{
 	Name: "hotpath",
 	Doc:  "check //autofj:hotpath functions for allocation-inducing constructs",
@@ -41,18 +46,37 @@ func runHotPath(pass *Pass) error {
 			if !ok || fd.Body == nil || !docHasDirective(fd.Doc, "hotpath") {
 				continue
 			}
-			checkHotFunc(pass, fd)
+			for _, site := range allocSites(pass, fd) {
+				pass.Report(Diagnostic{
+					Pos:        site.Pos,
+					Analyzer:   pass.Analyzer.Name,
+					Message:    fmt.Sprintf("%s in hotpath function %s", site.What, fd.Name.Name),
+					Suggestion: "//autofj:alloc-ok <reason>",
+				})
+			}
 		}
 	}
 	return nil
 }
 
-func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
+// An allocSite is one allocation-inducing construct found by the scan.
+type allocSite struct {
+	Pos  token.Pos
+	What string
+}
+
+// allocSites scans fd's body for allocation-inducing constructs,
+// skipping sites annotated //autofj:alloc-ok and the recognized scratch
+// idioms (cap-guarded make, self-append, map-index string conversion).
+// Function-literal bodies are not entered: the closure value itself is
+// reported once, and its body belongs to whoever calls it.
+func allocSites(pass *Pass, fd *ast.FuncDecl) []allocSite {
+	var sites []allocSite
 	report := func(pos token.Pos, format string, args ...any) {
 		if _, ok := pass.directiveAt(pos, "alloc-ok"); ok {
 			return
 		}
-		pass.Reportf(pos, format, args...)
+		sites = append(sites, allocSite{Pos: pos, What: fmt.Sprintf(format, args...)})
 	}
 	inspectStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
 		switch n := n.(type) {
@@ -60,54 +84,55 @@ func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
 			t := types.Unalias(pass.TypesInfo.TypeOf(n)).Underlying()
 			switch t.(type) {
 			case *types.Map, *types.Slice:
-				report(n.Pos(), "%s literal allocates in hotpath function %s", typeKind(t), fd.Name.Name)
+				report(n.Pos(), "%s literal allocates", typeKind(t))
 			default:
 				if len(stack) > 0 {
 					if u, ok := stack[len(stack)-1].(*ast.UnaryExpr); ok && u.Op.String() == "&" {
-						report(n.Pos(), "&composite literal escapes to the heap in hotpath function %s", fd.Name.Name)
+						report(n.Pos(), "&composite literal escapes to the heap")
 					}
 				}
 			}
 		case *ast.FuncLit:
-			report(n.Pos(), "closure allocates in hotpath function %s", fd.Name.Name)
+			report(n.Pos(), "closure allocates")
 			return false
 		case *ast.GoStmt:
-			report(n.Pos(), "goroutine spawn in hotpath function %s", fd.Name.Name)
+			report(n.Pos(), "goroutine spawn")
 		case *ast.BinaryExpr:
 			if n.Op.String() == "+" {
 				if t, ok := pass.TypesInfo.Types[n.X]; ok {
 					if b, ok := types.Unalias(t.Type).Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
-						report(n.Pos(), "string concatenation allocates in hotpath function %s", fd.Name.Name)
+						report(n.Pos(), "string concatenation allocates")
 					}
 				}
 			}
 		case *ast.CallExpr:
-			checkHotCall(pass, fd, n, stack, report)
+			checkHotCall(pass, n, stack, report)
 		}
 		return true
 	})
+	return sites
 }
 
-func checkHotCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, stack []ast.Node, report func(token.Pos, string, ...any)) {
+func checkHotCall(pass *Pass, call *ast.CallExpr, stack []ast.Node, report func(token.Pos, string, ...any)) {
 	// Builtins and conversions.
 	if id, ok := call.Fun.(*ast.Ident); ok {
 		switch id.Name {
 		case "make":
 			if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "make" && !growthGuarded(pass, stack) {
-				report(call.Pos(), "unguarded make allocates per call in hotpath function %s (guard with a cap/len check for amortized warm-up growth)", fd.Name.Name)
+				report(call.Pos(), "unguarded make allocates per call (guard with a cap/len check for amortized warm-up growth)")
 			}
 		case "append":
 			if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "append" && !selfAppend(call, stack) {
-				report(call.Pos(), "append result is not reassigned over its first argument; fresh-slice growth allocates in hotpath function %s", fd.Name.Name)
+				report(call.Pos(), "append result is not reassigned over its first argument; fresh-slice growth allocates")
 			}
 		case "new":
 			if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "new" {
-				report(call.Pos(), "new() allocates in hotpath function %s", fd.Name.Name)
+				report(call.Pos(), "new() allocates")
 			}
 		case "string":
 			// conversion via the predeclared type name
 			if checkStringConv(pass, call, stack) {
-				report(call.Pos(), "string conversion copies in hotpath function %s (only map-index position is elided by the compiler)", fd.Name.Name)
+				report(call.Pos(), "string conversion copies (only map-index position is elided by the compiler)")
 			}
 		}
 		return
@@ -115,20 +140,20 @@ func checkHotCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, stack []ast.
 	if pkg, name, ok := pkgFuncCall(pass.TypesInfo, call); ok {
 		switch {
 		case pkg == "fmt":
-			report(call.Pos(), "fmt.%s allocates and boxes its arguments in hotpath function %s", name, fd.Name.Name)
+			report(call.Pos(), "fmt.%s allocates and boxes its arguments", name)
 			return
 		case pkg == "log":
-			report(call.Pos(), "log.%s allocates in hotpath function %s", name, fd.Name.Name)
+			report(call.Pos(), "log.%s allocates", name)
 			return
 		case pkg == "errors" && name == "New":
-			report(call.Pos(), "errors.New allocates in hotpath function %s (hoist to a package-level var)", fd.Name.Name)
+			report(call.Pos(), "errors.New allocates (hoist to a package-level var)")
 			return
 		case pkg == "strings" && allocatingStringsFuncs[name]:
-			report(call.Pos(), "strings.%s returns freshly allocated memory per call in hotpath function %s (split/transform into a reused scratch buffer instead)", name, fd.Name.Name)
+			report(call.Pos(), "strings.%s returns freshly allocated memory per call (split/transform into a reused scratch buffer instead)", name)
 			return
 		}
 	}
-	checkBoxing(pass, fd, call, report)
+	checkBoxing(pass, call, report)
 }
 
 // allocatingStringsFuncs are the strings helpers that return freshly
@@ -249,7 +274,7 @@ func checkStringConv(pass *Pass, call *ast.CallExpr, stack []ast.Node) bool {
 // parameters: the conversion allocates to materialize the value behind
 // the interface. Pointer, map, chan, func and nil arguments are stored
 // directly and stay allocation-free.
-func checkBoxing(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, report func(token.Pos, string, ...any)) {
+func checkBoxing(pass *Pass, call *ast.CallExpr, report func(token.Pos, string, ...any)) {
 	sig, ok := types.Unalias(pass.TypesInfo.TypeOf(call.Fun)).Underlying().(*types.Signature)
 	if !ok {
 		return
@@ -284,7 +309,7 @@ func checkBoxing(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr, report func(t
 		case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
 			continue
 		}
-		report(arg.Pos(), "passing %s to interface parameter boxes (allocates) in hotpath function %s", argT.String(), fd.Name.Name)
+		report(arg.Pos(), "passing %s to interface parameter boxes (allocates)", argT.String())
 	}
 }
 

@@ -1,0 +1,169 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LeakyGo flags `go` statements that launch a goroutine with no
+// reachable way to stop: a body that loops without a termination
+// condition or parks on channel operations, while nothing threads a
+// context in, no WaitGroup tracks completion, and no done-style channel
+// (chan struct{} / timer) is consulted. Such a goroutine outlives every
+// request and — under the serving daemon's hot-swap lifecycle — every
+// program generation, leaking memory and keeping swapped-out state
+// alive forever.
+//
+// Cancellation signals recognized (directly in a spawned function
+// literal, or through the interprocedural summary of a named function
+// or method being launched):
+//   - a context.Context parameter or captured context value;
+//   - a (*sync.WaitGroup).Done call (including deferred);
+//   - a receive from a chan struct{} or chan time.Time.
+//
+// A goroutine whose body is straight-line bounded work (no loops, no
+// channel operations) finishes by itself and is never flagged; a
+// deliberately immortal goroutine (a process-lifetime background loop)
+// is annotated //autofj:leak-ok <reason> on the go statement. Dynamic
+// launches the summary engine cannot see are not reported.
+var LeakyGo = &Analyzer{
+	Name: "leakygo",
+	Doc:  "flag goroutine launches with no reachable cancellation or completion signal",
+	Run:  runLeakyGo,
+}
+
+func runLeakyGo(pass *Pass) error {
+	if pass.Summaries == nil {
+		return nil
+	}
+	for _, file := range pass.Files {
+		if pass.InTestFile(file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkGoStmt(pass, gs)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkGoStmt(pass *Pass, gs *ast.GoStmt) {
+	if _, ok := pass.directiveAt(gs.Pos(), "leak-ok"); ok {
+		return
+	}
+	var risk bool
+	var riskWhat, what string
+	var cancelable bool
+
+	switch fun := ast.Unparen(gs.Call.Fun).(type) {
+	case *ast.FuncLit:
+		risk, riskWhat, cancelable = litLeakFacts(pass, fun)
+		what = "goroutine"
+	default:
+		callee := StaticCallee(pass.TypesInfo, gs.Call)
+		if callee == nil {
+			return // dynamic launch: unknown, stay silent
+		}
+		sum := pass.Summaries.Lookup(callee)
+		if sum == nil {
+			return
+		}
+		risk, riskWhat, cancelable = sum.LeakRisk, sum.RiskWhat, sum.Cancelable
+		what = "goroutine running " + shortFuncName(summaryKey(callee))
+	}
+
+	// A context argument handed to the launch is a cancellation path
+	// even if the summary did not see one inside.
+	for _, arg := range gs.Call.Args {
+		if tv, ok := pass.TypesInfo.Types[arg]; ok && isPkgType(tv.Type, "context", "Context") {
+			cancelable = true
+		}
+	}
+
+	if risk && !cancelable {
+		pass.Report(Diagnostic{
+			Pos:      gs.Pos(),
+			Analyzer: pass.Analyzer.Name,
+			Message: fmt.Sprintf("%s has no reachable cancellation: %s, and no ctx, WaitGroup.Done, or done-channel is in sight; thread a shutdown signal or annotate //autofj:leak-ok <reason>",
+				what, riskWhat),
+			Suggestion: "//autofj:leak-ok <reason>",
+		})
+	}
+}
+
+// litLeakFacts computes the leak-risk and cancelability facts of a
+// spawned function literal directly (literal bodies are not call-graph
+// nodes). Calls to named functions fold in their summaries, so a
+// literal that just wraps `worker(ch)` is judged by worker's facts.
+func litLeakFacts(pass *Pass, lit *ast.FuncLit) (risk bool, riskWhat string, cancelable bool) {
+	setRisk := func(what string) {
+		if !risk {
+			risk, riskWhat = true, what
+		}
+	}
+	for _, field := range lit.Type.Params.List {
+		if tv, ok := pass.TypesInfo.Types[field.Type]; ok && isPkgType(tv.Type, "context", "Context") {
+			cancelable = true
+		}
+	}
+	inspectStack(lit.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.GoStmt:
+			// Nested launches are judged at their own go statement.
+			return false
+		case *ast.ForStmt:
+			if n.Cond == nil {
+				setRisk("loops without a termination condition")
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pass.TypesInfo.Types[n.X]; ok {
+				if _, isChan := types.Unalias(tv.Type).Underlying().(*types.Chan); isChan {
+					setRisk("ranges over a channel")
+				}
+			}
+		case *ast.SendStmt:
+			if !inSelectWithDefault(stack) {
+				setRisk("sends on a channel")
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if isDoneChannel(pass.TypesInfo.TypeOf(n.X)) {
+					cancelable = true
+				}
+				if !inSelectWithDefault(stack) {
+					setRisk("receives from a channel")
+				}
+			}
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[n]; obj != nil {
+				if _, isVar := obj.(*types.Var); isVar && isPkgType(obj.Type(), "context", "Context") {
+					cancelable = true
+				}
+			}
+		case *ast.CallExpr:
+			if callee := StaticCallee(pass.TypesInfo, n); callee != nil {
+				if summaryKey(callee) == "(*sync.WaitGroup).Done" {
+					cancelable = true
+				} else if sum := pass.Summaries.Lookup(callee); sum != nil {
+					if sum.LeakRisk {
+						setRisk(shortFuncName(summaryKey(callee)) + ": " + sum.RiskWhat)
+					}
+					if sum.Cancelable {
+						cancelable = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return risk, riskWhat, cancelable
+}

@@ -209,8 +209,22 @@ func goFilesIn(dir string) ([]string, error) {
 
 // RunAnalyzers applies every analyzer to every package and returns the
 // diagnostics sorted by position then analyzer name, so the output is
-// stable across runs.
+// stable across runs. Interprocedural summaries are computed over the
+// whole package set first (with no prior facts — the standalone and
+// fixture path); unitchecker mode uses RunAnalyzersWithSummaries to
+// thread dependency facts in.
 func RunAnalyzers(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, err := RunAnalyzersWithSummaries(fset, pkgs, analyzers, nil)
+	return diags, err
+}
+
+// RunAnalyzersWithSummaries is RunAnalyzers with explicit control over
+// prior interprocedural facts: prior supplies summaries for functions
+// outside pkgs (decoded from dependency vetx files in `go vet` mode).
+// The returned SummarySet contains prior plus the facts computed for
+// pkgs, ready to be persisted for dependents.
+func RunAnalyzersWithSummaries(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer, prior *SummarySet) ([]Diagnostic, *SummarySet, error) {
+	summaries := ComputeSummaries(fset, pkgs, prior)
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
@@ -221,10 +235,11 @@ func RunAnalyzers(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) (
 				Pkg:        pkg.Types,
 				TypesInfo:  pkg.Info,
 				TypesSizes: AnalyzerSizes,
+				Summaries:  summaries,
 				Report:     func(d Diagnostic) { diags = append(diags, d) },
 			}
 			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.PkgPath, err)
+				return nil, nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.PkgPath, err)
 			}
 		}
 	}
@@ -241,5 +256,5 @@ func RunAnalyzers(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) (
 		}
 		return diags[i].Analyzer < diags[j].Analyzer
 	})
-	return diags, nil
+	return diags, summaries, nil
 }

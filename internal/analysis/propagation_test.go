@@ -1,0 +1,125 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/analysis"
+)
+
+// The multipkg fixture is its own module: a hotpath function, a locked
+// region, and a goroutine launch in package app whose violations are
+// only visible through the summaries of the leaf packages alloc and
+// block. Both paths the tool ships — whole-module (standalone) and
+// per-unit with serialized facts (unitchecker) — must surface the same
+// three diagnostics.
+var multipkgWant = []struct{ analyzer, fileFragment, messageFragment string }{
+	{"hotcall", "app/app.go", "call to alloc.Build allocates transitively in hotpath function Hot"},
+	{"lockhold", "app/app.go", "call to block.Wait, which blocks"},
+	{"leakygo", "app/app.go", "goroutine running block.Wait has no reachable cancellation"},
+}
+
+func checkMultipkgDiags(t *testing.T, fsetPos func(d analysis.Diagnostic) string, diags []analysis.Diagnostic) {
+	t.Helper()
+	var appDiags []analysis.Diagnostic
+	for _, d := range diags {
+		if strings.Contains(fsetPos(d), "app/app.go") {
+			appDiags = append(appDiags, d)
+		}
+	}
+	if len(appDiags) != len(multipkgWant) {
+		for _, d := range appDiags {
+			t.Logf("got: %s: %s [%s]", fsetPos(d), d.Message, d.Analyzer)
+		}
+		t.Fatalf("got %d diagnostics in app/app.go, want %d", len(appDiags), len(multipkgWant))
+	}
+	for i, w := range multipkgWant {
+		d := appDiags[i]
+		if d.Analyzer != w.analyzer {
+			t.Errorf("diagnostic %d: analyzer %q, want %q", i, d.Analyzer, w.analyzer)
+		}
+		if !strings.Contains(d.Message, w.messageFragment) {
+			t.Errorf("diagnostic %d (%s): message %q does not contain %q", i, d.Analyzer, d.Message, w.messageFragment)
+		}
+	}
+}
+
+// TestCrossPackagePropagation runs the whole fixture module at once, the
+// standalone path: one call graph over all three packages.
+func TestCrossPackagePropagation(t *testing.T) {
+	root := filepath.Join("testdata", "src", "multipkg")
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.RunAnalyzers(loader.Fset, pkgs, analysis.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkMultipkgDiags(t, func(d analysis.Diagnostic) string {
+		return filepath.ToSlash(loader.Fset.Position(d.Pos).Filename)
+	}, diags)
+}
+
+// TestCrossPackagePropagationViaFacts replays the unitchecker protocol
+// in-process: each leaf package is summarized alone, its facts are
+// serialized with EncodePackage (exactly what a vetx file holds) and
+// decoded back with MergeEncoded, and package app is then analyzed in
+// isolation seeded only with those decoded facts. The diagnostics must
+// match the whole-module run — proving summaries survive the wire.
+func TestCrossPackagePropagationViaFacts(t *testing.T) {
+	root := filepath.Join("testdata", "src", "multipkg")
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	prior := analysis.NewSummarySet()
+	for _, leaf := range []string{"alloc", "block"} {
+		pkgPath := "example.com/multipkg/" + leaf
+		pkg, err := loader.LoadDir(filepath.Join(root, leaf), pkgPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sums := analysis.ComputeSummaries(loader.Fset, []*analysis.Package{pkg}, nil)
+		if sums.Len() == 0 {
+			t.Fatalf("no summaries computed for %s", pkgPath)
+		}
+		encoded, err := sums.EncodePackage(pkgPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := prior.MergeEncoded(encoded, pkgPath); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	app, err := loader.LoadDir(filepath.Join(root, "app"), "example.com/multipkg/app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, _, err := analysis.RunAnalyzersWithSummaries(loader.Fset, []*analysis.Package{app}, analysis.All(), prior)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkMultipkgDiags(t, func(d analysis.Diagnostic) string {
+		return filepath.ToSlash(loader.Fset.Position(d.Pos).Filename)
+	}, diags)
+
+	// Without the facts the same run must stay silent on all three
+	// sites: unknown callees are never guessed at.
+	blind, _, err := analysis.RunAnalyzersWithSummaries(loader.Fset, []*analysis.Package{app}, analysis.All(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range blind {
+		if d.Analyzer == "hotcall" || d.Analyzer == "lockhold" || d.Analyzer == "leakygo" {
+			t.Errorf("without dependency facts, %s should be silent, got: %s", d.Analyzer, d.Message)
+		}
+	}
+}

@@ -6,13 +6,18 @@ import (
 	"github.com/chu-data-lab/autofuzzyjoin-go/internal/analysis"
 )
 
-// TestModuleRunsClean is the tree gate: every autofjvet analyzer over
-// every package of the module must produce zero diagnostics. A change
-// that violates an invariant — an unsorted map range on a result path,
-// an allocation in a hotpath function, an unreset pooled field — fails
+// TestModuleRunsClean is the tree gate: every autofjvet analyzer —
+// all eleven, including the interprocedural four (dettaint, hotcall,
+// lockhold, leakygo) — over every package of the module must produce
+// zero diagnostics. A change that violates an invariant — an unsorted
+// map range on a result path, an allocation in a hotpath function, an
+// unreset pooled field, a lock held across a blocking call — fails
 // this test with the same message the vettool prints, and a deliberate
 // exception must be annotated (with a reason) to pass.
 func TestModuleRunsClean(t *testing.T) {
+	if n := len(analysis.All()); n != 11 {
+		t.Fatalf("analysis.All() returns %d analyzers, want 11; update this test when adding analyzers", n)
+	}
 	loader, err := analysis.NewLoader("../..")
 	if err != nil {
 		t.Fatalf("loader: %v", err)

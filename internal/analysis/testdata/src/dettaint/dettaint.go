@@ -1,0 +1,63 @@
+// Fixture for the dettaint analyzer: calls whose results depend on map
+// iteration order, consumed in a result-producing package without a sort
+// barrier.
+package dettaint
+
+import "sort"
+
+// keysOf ranges a map into its return value: OrderEscapes.
+func keysOf(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// sortedKeys launders the order before returning: clean.
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+var sink []string
+
+func consumeUnsorted(m map[string]int) {
+	ks := keysOf(m) // want "result of dettaint.keysOf depends on map iteration order"
+	sink = ks
+}
+
+func consumeSorted(m map[string]int) {
+	ks := keysOf(m)
+	sort.Strings(ks) // sort barrier after the call: no diagnostic
+	sink = ks
+}
+
+func consumeClean(m map[string]int) {
+	sink = sortedKeys(m) // callee sorts before returning: no diagnostic
+}
+
+func consumeBlessed(m map[string]int) {
+	//autofj:nondet-ok keys feed a set membership check; order never observed
+	ks := keysOf(m)
+	sink = ks
+}
+
+func discard(m map[string]int) {
+	keysOf(m) // result discarded: order unobservable, no diagnostic
+}
+
+// forward is itself OrderEscapes (pure forwarding): the report belongs at
+// forward's consumers, not here.
+func forward(m map[string]int) []string {
+	return keysOf(m)
+}
+
+func consumeForwarded(m map[string]int) {
+	ks := forward(m) // want "result of dettaint.forward depends on map iteration order"
+	sink = ks
+}

@@ -1,0 +1,69 @@
+// Fixture for the hotcall analyzer: hotpath functions must not reach an
+// allocating callee transitively, unless the call site is blessed.
+package hotcall
+
+// buildSlice allocates: unguarded make.
+func buildSlice(n int) []int {
+	return make([]int, n)
+}
+
+// mid allocates only through its callee.
+func mid(n int) []int {
+	return buildSlice(n)
+}
+
+// clean is allocation-free all the way down.
+func clean(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+//autofj:hotpath
+func hotDirect(n int) int {
+	xs := buildSlice(n) // want "call to hotcall.buildSlice allocates transitively in hotpath function hotDirect"
+	return len(xs)
+}
+
+//autofj:hotpath
+func hotDeep(n int) int {
+	return len(mid(n)) // want "call to hotcall.mid allocates transitively in hotpath function hotDeep: hotcall.mid -> hotcall.buildSlice"
+}
+
+//autofj:hotpath
+func hotClean(a, b int) int {
+	return clean(a, b) // allocation-free callee: no diagnostic
+}
+
+//autofj:hotpath
+func hotBlessed(n int) int {
+	//autofj:alloc-ok cold resize path taken once per table growth
+	xs := buildSlice(n)
+	return len(xs)
+}
+
+//autofj:hotpath
+func hotRecursive(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return hotRecursive(n - 1) // direct recursion: this body is already policed
+}
+
+//autofj:hotpath
+func hotCallee(n int) int {
+	return n * 2
+}
+
+//autofj:hotpath
+func hotToHot(n int) int {
+	return hotCallee(n) // hotpath callee is policed by its own analyzer run
+}
+
+// dynamic calls have no static callee and stay silent.
+//
+//autofj:hotpath
+func hotDynamic(f func(int) []int, n int) int {
+	return len(f(n))
+}

@@ -1,0 +1,81 @@
+// Fixture for the leakygo analyzer: goroutine launches with no
+// reachable cancellation or completion signal.
+package leakygo
+
+import (
+	"context"
+	"sync"
+)
+
+// spin loops forever draining a channel: leak risk, no cancellation.
+func spin(ch chan int) {
+	for {
+		<-ch
+	}
+}
+
+// spinDone consults a done channel: cancelable.
+func spinDone(ch chan int, done chan struct{}) {
+	for {
+		select {
+		case <-ch:
+		case <-done:
+			return
+		}
+	}
+}
+
+var sink int
+
+func launchNamedBad(ch chan int) {
+	go spin(ch) // want "goroutine running leakygo.spin has no reachable cancellation"
+}
+
+func launchLitBad(ch chan int) {
+	go func() { // want "goroutine has no reachable cancellation"
+		for v := range ch {
+			sink = v
+		}
+	}()
+}
+
+func launchNamedDone(ch chan int, done chan struct{}) {
+	go spinDone(ch, done) // done-channel receive inside: no diagnostic
+}
+
+func launchCtx(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-ch:
+				sink = v
+			}
+		}
+	}()
+}
+
+func launchWaitGroup(wg *sync.WaitGroup, ch chan int) {
+	go func() {
+		defer wg.Done()
+		sink = <-ch
+	}()
+}
+
+func launchBounded() {
+	go func() {
+		sink = 1 // straight-line body finishes by itself: no diagnostic
+	}()
+}
+
+func launchBlessed(ch chan int) {
+	//autofj:leak-ok process-lifetime telemetry pump; intentionally immortal
+	go spin(ch)
+}
+
+func launchWrapped(ch chan int) {
+	go func() { // want "has no reachable cancellation: leakygo.spin"
+		spin(ch)
+	}()
+}

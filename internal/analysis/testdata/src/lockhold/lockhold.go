@@ -1,0 +1,95 @@
+// Fixture for the lockhold analyzer: mutexes held across operations
+// that can park the goroutine.
+package lockhold
+
+import (
+	"sync"
+	"time"
+)
+
+type box struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	ch chan int
+	n  int
+}
+
+// recv blocks: channel receive.
+func recv(ch chan int) int {
+	return <-ch
+}
+
+// bump is pure computation: never blocks.
+func bump(n int) int {
+	return n + 1
+}
+
+func (b *box) callBlockingHeld() {
+	b.mu.Lock()
+	b.n = recv(b.ch) // want "call to lockhold.recv, which blocks .* while b.mu is locked"
+	b.mu.Unlock()
+}
+
+func (b *box) callBlockingReleased() {
+	b.mu.Lock()
+	b.n = bump(b.n)
+	b.mu.Unlock()
+	b.n = recv(b.ch) // lock released first: no diagnostic
+}
+
+func (b *box) directReceiveHeld() {
+	b.mu.Lock()
+	b.n = <-b.ch // want "channel receive while b.mu is locked"
+	b.mu.Unlock()
+}
+
+func (b *box) sendHeldDeferred() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ch <- b.n // want "channel send while b.mu is locked"
+}
+
+func (b *box) sleepHeld() {
+	b.rw.Lock()
+	time.Sleep(time.Millisecond) // want "call to time.Sleep, which blocks .* while b.rw is locked"
+	b.rw.Unlock()
+}
+
+func (b *box) selectHeld() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select { // want "select with no default while b.mu is locked"
+	case v := <-b.ch:
+		b.n = v
+	case b.ch <- b.n:
+	}
+}
+
+func (b *box) selectWithDefaultHeld() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select {
+	case v := <-b.ch:
+		b.n = v
+	default: // non-blocking poll: no diagnostic
+	}
+}
+
+func (b *box) annotated() {
+	b.mu.Lock()
+	//autofj:blocking handoff is deliberate; the consumer drains within the same request
+	b.n = recv(b.ch)
+	b.mu.Unlock()
+}
+
+func (b *box) computeHeld() {
+	b.mu.Lock()
+	b.n = bump(b.n) // non-blocking callee: no diagnostic
+	b.mu.Unlock()
+}
+
+func (b *box) goroutineEscapes() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	go recv(b.ch) // the spawned goroutine does not hold the lock: no diagnostic
+}

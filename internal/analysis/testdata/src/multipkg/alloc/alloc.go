@@ -1,0 +1,9 @@
+// Package alloc is the leaf of the multi-package fixture: its only
+// function allocates, and nothing in this package is annotated — the
+// fact must travel to callers through the summary store alone.
+package alloc
+
+// Build allocates: unguarded make.
+func Build(n int) []byte {
+	return make([]byte, n)
+}

@@ -1,0 +1,35 @@
+// Package app consumes the fixture leaves across package boundaries:
+// every violation here is only visible through the callees' summaries.
+package app
+
+import (
+	"sync"
+
+	"example.com/multipkg/alloc"
+	"example.com/multipkg/block"
+)
+
+type server struct {
+	mu sync.Mutex
+	ch chan int
+	n  int
+}
+
+// Hot reaches an allocation two packages away.
+//
+//autofj:hotpath
+func Hot(n int) int {
+	return len(alloc.Build(n)) // hotcall: alloc.Build may allocate
+}
+
+// Locked blocks on another package's channel receive while holding mu.
+func (s *server) Locked() {
+	s.mu.Lock()
+	block.Wait(s.ch) // lockhold: block.Wait blocks
+	s.mu.Unlock()
+}
+
+// Launch spawns a goroutine whose leak risk lives in another package.
+func Launch(ch chan int) {
+	go block.Wait(ch) // leakygo: block.Wait parks forever, nothing cancels it
+}

@@ -1,0 +1,9 @@
+// Package block is the blocking leaf of the multi-package fixture.
+package block
+
+// Wait parks on a data-channel receive. (A chan struct{} would read as
+// a done-channel — a cancellation signal — to the summary engine; a
+// data channel keeps the leak risk uncancelable.)
+func Wait(ch chan int) {
+	<-ch
+}

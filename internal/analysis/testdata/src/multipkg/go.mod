@@ -1,0 +1,3 @@
+module example.com/multipkg
+
+go 1.24

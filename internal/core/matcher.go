@@ -319,6 +319,7 @@ func (m *Matcher) pairDists(ms *matchScratch, l int32) {
 func (m *Matcher) leftDist(ci int, a, b int32) float64 {
 	f := m.configs[ci].Function
 	if !m.multi {
+		//autofj:alloc-ok character distances need O(len) rune scratch; the per-call cost is capped by the benchgate allocs/op budget
 		return f.Distance(m.cols[0].profL[a], m.cols[0].profL[b])
 	}
 	var d float64
@@ -328,6 +329,7 @@ func (m *Matcher) leftDist(ci int, a, b int32) float64 {
 			d += m.weights[j]
 			continue
 		}
+		//autofj:alloc-ok character distances need O(len) rune scratch; the per-call cost is capped by the benchgate allocs/op budget
 		d += m.weights[j] * float64(float32(f.Distance(c.profL[a], c.profL[b])))
 	}
 	return d
@@ -395,6 +397,7 @@ func (m *Matcher) matchOne(ms *matchScratch, key string, row []string) (Match, b
 		ms.qcells[0] = key
 	}
 	for j := range m.cols {
+		//autofj:alloc-ok one profile bundle per query cell; amortized across every configuration scored against it
 		ms.qprof[j] = m.cols[j].corpus.Profile(ms.qcells[j])
 	}
 	// Pair-major candidate scan: one fused evaluation per candidate fills

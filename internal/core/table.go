@@ -717,6 +717,7 @@ func (t *Table) leftDist(ms *tableScratch, ci int, a, b blocking.Ref) float64 {
 	apl, alocal := t.payload(a)
 	bpl, blocal := t.payload(b)
 	if !t.multi {
+		//autofj:alloc-ok character distances need O(len) rune scratch; the per-call cost is capped by the benchgate allocs/op budget
 		return f.Distance(t.profile(0, apl, alocal, &ms.rwa), t.profile(0, bpl, blocal, &ms.rwb))
 	}
 	var d float64
@@ -727,6 +728,7 @@ func (t *Table) leftDist(ms *tableScratch, ci int, a, b blocking.Ref) float64 {
 		}
 		pa := t.profile(j, apl, alocal, &ms.rwa)
 		pb := t.profile(j, bpl, blocal, &ms.rwb)
+		//autofj:alloc-ok character distances need O(len) rune scratch; the per-call cost is capped by the benchgate allocs/op budget
 		d += t.weights[j] * float64(float32(f.Distance(pa, pb)))
 	}
 	return d
@@ -798,6 +800,7 @@ func (t *Table) matchOne(ms *tableScratch, key string, row []string) (Match, boo
 		ms.qcells[0] = key
 	}
 	for j := range t.cols {
+		//autofj:alloc-ok one profile bundle per query cell; amortized across every configuration scored against it
 		ms.qprof[j] = t.cols[j].corpus.Profile(ms.qcells[j])
 	}
 	for ci := range t.configs {
@@ -894,6 +897,7 @@ func (t *Table) MatchBatch(ctx context.Context, records []string) ([]Match, erro
 	}
 	t.mu.RLock()
 	defer t.mu.RUnlock()
+	//autofj:blocking the batch must answer under one generation, so the read lock is held across the fan-out by design; writers wait, readers do not
 	return t.batchLocked(ctx, len(records), func(ms *tableScratch, i int) Match {
 		mt, _ := t.matchOne(ms, records[i], nil)
 		return mt
@@ -931,6 +935,7 @@ func (t *Table) MatchBatchAt(ctx context.Context, rows [][]string) (*TableBatch,
 	}
 	t.mu.RLock()
 	defer t.mu.RUnlock()
+	//autofj:blocking the batch must answer under one generation, so the read lock is held across the fan-out by design; writers wait, readers do not
 	out, err := t.batchLocked(ctx, len(rows), func(ms *tableScratch, i int) Match {
 		var mt Match
 		if t.multi {

@@ -12,10 +12,8 @@
 package embed
 
 import (
-	"hash/fnv"
 	"math"
-
-	"github.com/chu-data-lab/autofuzzyjoin-go/internal/tokenize"
+	"unicode/utf8"
 )
 
 // Dim is the dimensionality of the hashed embedding space.
@@ -24,24 +22,64 @@ const Dim = 64
 // Vector is a dense embedding.
 type Vector [Dim]float64
 
+// FNV-1a parameters (hash/fnv's 64-bit variant, inlined so embedding a
+// string allocates nothing: no hash object, no materialized gram slice).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvRune folds one rune's UTF-8 bytes into an FNV-1a state, matching
+// what hash/fnv would compute over the encoded string.
+func fnvRune(h uint64, r rune) uint64 {
+	var buf [utf8.UTFMax]byte
+	n := utf8.EncodeRune(buf[:], r)
+	for _, b := range buf[:n] {
+		h = (h ^ uint64(b)) * fnvPrime64
+	}
+	return h
+}
+
+// fnvString is FNV-1a over the raw bytes of s.
+func fnvString(s string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * fnvPrime64
+	}
+	return h
+}
+
+// addGram accumulates one padded trigram into the vector: the FNV-1a hash
+// of the gram's UTF-8 bytes picks a bucket and a deterministic sign.
+func (v *Vector) addGram(a, b, c rune) {
+	sum := fnvRune(fnvRune(fnvRune(fnvOffset64, a), b), c)
+	if (sum>>32)&1 == 1 {
+		v[sum%Dim]--
+	} else {
+		v[sum%Dim]++
+	}
+}
+
 // Embed maps s to its L2-normalized hashed-trigram embedding. Empty input
 // yields the zero vector.
+//
+// The trigrams are the same '#'-padded rune windows tokenize.QGrams(s, 3)
+// produces and each is hashed exactly as hash/fnv would hash the gram
+// string, but the window slides over s directly — one rune decode per
+// position, zero allocations — because Embed sits under Corpus.Profile on
+// the per-query match path.
 func Embed(s string) Vector {
 	var v Vector
 	if s == "" {
 		return v
 	}
-	for _, g := range tokenize.QGrams(s, 3) {
-		h := fnv.New64a()
-		h.Write([]byte(g))
-		sum := h.Sum64()
-		idx := int(sum % Dim)
-		sign := 1.0
-		if (sum>>32)&1 == 1 {
-			sign = -1.0
-		}
-		v[idx] += sign
+	a, b := '#', '#'
+	for _, r := range s {
+		v.addGram(a, b, r)
+		a, b = b, r
 	}
+	v.addGram(a, b, '#')
+	v.addGram(b, '#', '#')
 	var norm float64
 	for _, x := range v {
 		norm += x * x
@@ -49,9 +87,7 @@ func Embed(s string) Vector {
 	if norm == 0 {
 		// Degenerate (all signed counts cancelled): fall back to a one-hot
 		// bucket so the vector is still unit-length and deterministic.
-		h := fnv.New64a()
-		h.Write([]byte(s))
-		v[int(h.Sum64()%Dim)] = 1
+		v[fnvString(s)%Dim] = 1
 		return v
 	}
 	norm = math.Sqrt(norm)

@@ -1,9 +1,12 @@
 package embed
 
 import (
+	"hash/fnv"
 	"math"
 	"testing"
 	"testing/quick"
+
+	"github.com/chu-data-lab/autofuzzyjoin-go/internal/tokenize"
 )
 
 func TestEmbedDeterministic(t *testing.T) {
@@ -79,5 +82,64 @@ func TestEmptyConventions(t *testing.T) {
 	}
 	if Distance("", "abc") != 1 {
 		t.Error("empty vs non-empty should be distance 1")
+	}
+}
+
+// referenceEmbed is the pre-inlining implementation (hash/fnv over
+// tokenize.QGrams grams); Embed must stay bit-identical to it.
+func referenceEmbed(s string) Vector {
+	var v Vector
+	if s == "" {
+		return v
+	}
+	for _, g := range tokenize.QGrams(s, 3) {
+		h := fnv.New64a()
+		h.Write([]byte(g))
+		sum := h.Sum64()
+		idx := int(sum % Dim)
+		sign := 1.0
+		if (sum>>32)&1 == 1 {
+			sign = -1.0
+		}
+		v[idx] += sign
+	}
+	var norm float64
+	for _, x := range v {
+		norm += x * x
+	}
+	if norm == 0 {
+		h := fnv.New64a()
+		h.Write([]byte(s))
+		v[int(h.Sum64()%Dim)] = 1
+		return v
+	}
+	norm = math.Sqrt(norm)
+	for i := range v {
+		v[i] /= norm
+	}
+	return v
+}
+
+func TestEmbedMatchesReference(t *testing.T) {
+	cases := []string{
+		"a", "ab", "abc", "wisconsin badgers", "héllo wörld",
+		"日本語テキスト", "x\xffy", "   ", "##", "madison",
+	}
+	for _, s := range cases {
+		if got, want := Embed(s), referenceEmbed(s); got != want {
+			t.Errorf("Embed(%q) diverged from the hash/fnv reference", s)
+		}
+	}
+	f := func(s string) bool { return Embed(s) == referenceEmbed(s) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmbedZeroAlloc(t *testing.T) {
+	if n := testing.AllocsPerRun(200, func() {
+		_ = Embed("wisconsin badgers football 1998")
+	}); n != 0 {
+		t.Errorf("Embed allocates %v times per call, want 0", n)
 	}
 }

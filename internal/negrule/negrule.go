@@ -136,6 +136,7 @@ func (s *Set) Blocks(l, r string) bool {
 //
 //autofj:hotpath
 func AppendWordSet(dst []string, record string) []string {
+	//autofj:alloc-ok the pre-processing transform allocates once per record at add/freeze time and the word set is cached thereafter
 	dst = appendWords(dst, textproc.LowerStemRemovePunct.Apply(record))
 	sort.Strings(dst)
 	out := dst[:0]
@@ -188,6 +189,7 @@ func (s *Set) Freeze(left []string, parallelism int) *Frozen {
 		rules:     make(map[Rule]bool, len(s.rules)),
 		leftWords: make([][]string, len(left)),
 	}
+	//autofj:nondet-ok map-to-map copy; the frozen set is identical under any iteration order
 	for r := range s.rules {
 		f.rules[r] = true
 	}

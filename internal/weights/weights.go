@@ -144,6 +144,7 @@ func (s Scheme) Vector(tokens []string, stats *Stats) map[string]float64 {
 		v[t]++
 	}
 	if s == IDF && stats != nil {
+		//autofj:nondet-ok per-key multiply into the same map; the result is identical under any iteration order
 		for t := range v {
 			v[t] *= stats.IDF(t)
 		}
