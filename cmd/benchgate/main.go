@@ -16,7 +16,7 @@
 // when a budgeted benchmark is missing or over budget.
 //
 // -update regenerates the budget file instead of gating: every budgeted
-// benchmark's allocs/op is reset to the worst observation in the input,
+// benchmark's allocs/op is reset to the median observation in the input,
 // so a deliberate perf change ratchets the budgets in one command
 // instead of eight hand edits. The gated set itself stays curated —
 // benchmarks not already in the file are not added, and a budgeted
@@ -102,11 +102,13 @@ func main() {
 	}
 }
 
-// parseBench scans -benchmem output and returns each benchmark's worst
-// (highest) observed allocs/op — a benchmark can appear more than once
-// under -count, and the gate judges the worst run.
+// parseBench scans -benchmem output and returns each benchmark's MEDIAN
+// observed allocs/op: CI runs the gated benchmarks with -count=3, and a
+// single descheduled or GC-unlucky run must not fail (or, under -update,
+// inflate) a budget the other runs agree on. The upper median is used
+// for even counts, so a 2-run tie still judges the worse run.
 func parseBench(in io.Reader) (map[string]int64, error) {
-	measured := map[string]int64{}
+	observed := map[string][]int64{}
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
@@ -114,12 +116,15 @@ func parseBench(in io.Reader) (map[string]int64, error) {
 		if !ok {
 			continue
 		}
-		if prev, seen := measured[name]; !seen || allocs > prev {
-			measured[name] = allocs
-		}
+		observed[name] = append(observed[name], allocs)
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
+	}
+	measured := make(map[string]int64, len(observed))
+	for name, runs := range observed {
+		sort.Slice(runs, func(i, j int) bool { return runs[i] < runs[j] })
+		measured[name] = runs[len(runs)/2]
 	}
 	return measured, nil
 }
@@ -151,7 +156,7 @@ func gate(w io.Writer, budgets map[string]budget, measured map[string]int64) boo
 }
 
 // updateBudgets returns the regenerated budget file: the same curated
-// benchmark set, each budget reset to the worst measured allocs/op.
+// benchmark set, each budget reset to the median measured allocs/op.
 // Every budgeted benchmark must appear in the input — refreshing from a
 // partial bench run would silently pin stale numbers.
 func updateBudgets(budgets map[string]budget, measured map[string]int64) ([]byte, error) {

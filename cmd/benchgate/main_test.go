@@ -6,15 +6,17 @@ import (
 	"testing"
 )
 
-// sampleBench is representative `go test -bench -benchmem` output:
-// noise lines, GOMAXPROCS suffixes, a sub-benchmark, a duplicate run
-// with a worse allocs/op, and a benchmark without a budget.
+// sampleBench is representative `go test -bench -count=3 -benchmem`
+// output: noise lines, GOMAXPROCS suffixes, a sub-benchmark, repeated
+// -count runs including one noisy outlier, and a benchmark without a
+// budget.
 const sampleBench = `goos: linux
 goarch: amd64
 pkg: example.com/core
 cpu: Some CPU @ 2.00GHz
 BenchmarkMatcherMatch-8         	    1000	   1200345 ns/op	   35000 B/op	     350 allocs/op
 BenchmarkMatcherMatch-8         	    1000	   1190000 ns/op	   36000 B/op	     360 allocs/op
+BenchmarkMatcherMatch-8         	    1000	   2400000 ns/op	   90000 B/op	     900 allocs/op
 BenchmarkEvaluator/fused-8      	  500000	      2100 ns/op	      16 B/op	       1 allocs/op
 BenchmarkBlockingTopK-8         	  200000	      6100 ns/op	       0 B/op	       0 allocs/op
 BenchmarkUnbudgeted-8           	  100000	     10000 ns/op	     128 B/op	       4 allocs/op
@@ -34,7 +36,7 @@ func sampleMeasured(t *testing.T) map[string]int64 {
 func TestParseBench(t *testing.T) {
 	m := sampleMeasured(t)
 	want := map[string]int64{
-		"BenchmarkMatcherMatch":    360, // worst of the two -count runs
+		"BenchmarkMatcherMatch":    360, // median of the three -count runs; the 900 outlier is discarded
 		"BenchmarkEvaluator/fused": 1,
 		"BenchmarkBlockingTopK":    0,
 		"BenchmarkUnbudgeted":      4,
@@ -100,7 +102,7 @@ func TestUpdateBudgets(t *testing.T) {
 		t.Fatalf("regenerated file does not parse: %v\n%s", err, data)
 	}
 	want := map[string]int64{
-		"BenchmarkMatcherMatch":    360,
+		"BenchmarkMatcherMatch":    360, // median, not the 900 outlier
 		"BenchmarkEvaluator/fused": 1,
 		"BenchmarkBlockingTopK":    0,
 	}

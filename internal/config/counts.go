@@ -220,6 +220,13 @@ func (rs *ReweightScratch) Release() {
 	rs.blocks = [numPre][numTok]VecBlock{}
 }
 
+// Held reports whether the scratch still holds a derived profile view —
+// i.e. Release has not run since the last Reweighted call. Pool-hygiene
+// tests use this to verify a returned scratch pins no row memory.
+func (rs *ReweightScratch) Held() bool {
+	return rs.prof != (Profile{})
+}
+
 // Reweighted derives the full (IDF-weighted) view of a count profile under
 // the corpus's current statistics, into rs. For every representation the
 // space weights by IDF, the derived weight of token i is count_i*idf_i with

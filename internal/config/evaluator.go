@@ -198,3 +198,119 @@ func (e *Evaluator) Distances(l, r *Profile, sc *EvalScratch, out []float64) {
 		}
 	}
 }
+
+// scatterChar fans one fused char-kernel result out to the plan's
+// function slots (shared by the pointer and arena paths).
+//
+//autofj:hotpath
+func scatterChar(g *charPlan, cd distance.CharDists, out []float64) {
+	for _, s := range g.fns {
+		switch s.dist {
+		case ED:
+			out[s.fi] = cd.ED
+		case JW:
+			out[s.fi] = cd.JW
+		case ME:
+			out[s.fi] = cd.ME
+		case SW:
+			out[s.fi] = cd.SW
+		default:
+			out[s.fi] = 1
+		}
+	}
+}
+
+// scatterSet fans one fused set-kernel result out to the plan's function
+// slots.
+//
+//autofj:hotpath
+func scatterSet(g *setPlan, sd distance.SetDists, out []float64) {
+	for _, s := range g.fns {
+		switch s.dist {
+		case JD:
+			out[s.fi] = sd.JD
+		case CD:
+			out[s.fi] = sd.CD
+		case DD:
+			out[s.fi] = sd.DD
+		case MD:
+			out[s.fi] = sd.MD
+		case ID:
+			out[s.fi] = sd.ID
+		case CJD:
+			out[s.fi] = sd.CJD
+		case CCD:
+			out[s.fi] = sd.CCD
+		case CDD:
+			out[s.fi] = sd.CDD
+		default:
+			out[s.fi] = 1
+		}
+	}
+}
+
+// ArenaDistances is Distances over columnar storage: the reference side
+// reads arena blocks (record l), the query side a prebuilt QueryProfile.
+// Values are bit-identical to Distances on the equivalent pointer
+// profiles — the char kernels run on pre-converted runes, the set
+// kernels merge interned ids in the same token order, and the embedding
+// dot product runs stride-1 over the flat block with the same
+// accumulation order. The steady state allocates nothing.
+//
+//autofj:hotpath
+func (e *Evaluator) ArenaDistances(a *ProfileArena, l int32, q *QueryProfile, sc *EvalScratch, out []float64) {
+	for gi := range e.char {
+		g := &e.char[gi]
+		ap := &a.pre[g.pre]
+		lp := ap.procBlob[ap.procOff[l]:ap.procOff[l+1]]
+		lr := ap.runes[ap.runeOff[l]:ap.runeOff[l+1]]
+		cd := sc.char.DistancesRunes(lp, q.proc[g.pre], lr, q.runes[g.pre], g.need)
+		scatterChar(g, cd, out)
+	}
+	for gi := range e.set {
+		g := &e.set[gi]
+		rep := a.rep[g.pre][g.tok]
+		sd := distance.SetFamilyIDs(a.setVec(rep, int(g.wt), l), q.vec[g.pre][g.tok][g.wt])
+		scatterSet(g, sd, out)
+	}
+	for gi := range e.emb {
+		g := &e.emb[gi]
+		ap := &a.pre[g.pre]
+		d := embed.CosineDistanceFlat(ap.emb[int(l)*embed.Dim:(int(l)+1)*embed.Dim], q.emb[g.pre][:])
+		for _, fi := range g.fns {
+			out[fi] = d
+		}
+	}
+}
+
+// ArenaPairDistances is ArenaDistances between two arena records (the
+// ball-construction distance of the serving path): record l is the
+// reference side, record r the query side, exactly as in Distances.
+//
+//autofj:hotpath
+func (e *Evaluator) ArenaPairDistances(a *ProfileArena, l, r int32, sc *EvalScratch, out []float64) {
+	for gi := range e.char {
+		g := &e.char[gi]
+		ap := &a.pre[g.pre]
+		lp := ap.procBlob[ap.procOff[l]:ap.procOff[l+1]]
+		lr := ap.runes[ap.runeOff[l]:ap.runeOff[l+1]]
+		rp := ap.procBlob[ap.procOff[r]:ap.procOff[r+1]]
+		rr := ap.runes[ap.runeOff[r]:ap.runeOff[r+1]]
+		cd := sc.char.DistancesRunes(lp, rp, lr, rr, g.need)
+		scatterChar(g, cd, out)
+	}
+	for gi := range e.set {
+		g := &e.set[gi]
+		rep := a.rep[g.pre][g.tok]
+		sd := distance.SetFamilyIDs(a.setVec(rep, int(g.wt), l), a.setVec(rep, int(g.wt), r))
+		scatterSet(g, sd, out)
+	}
+	for gi := range e.emb {
+		g := &e.emb[gi]
+		ap := &a.pre[g.pre]
+		d := embed.CosineDistanceFlat(ap.emb[int(l)*embed.Dim:(int(l)+1)*embed.Dim], ap.emb[int(r)*embed.Dim:(int(r)+1)*embed.Dim])
+		for _, fi := range g.fns {
+			out[fi] = d
+		}
+	}
+}

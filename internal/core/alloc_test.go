@@ -1,0 +1,106 @@
+package core
+
+import (
+	"context"
+	"testing"
+)
+
+// TestMatchZeroAllocSteadyState pins the tentpole invariant: once the
+// query-normalization cache holds a surface form, Match, MatchBatchInto,
+// and MatchRowsInto run without a single heap allocation (sequential
+// path; parallel fan-out pays O(workers) goroutine bookkeeping and is
+// exercised by the benchmarks instead). A regression here is a silent
+// performance cliff long before it is a correctness bug, so it fails the
+// ordinary test suite, not just the benchgate.
+func TestMatchZeroAllocSteadyState(t *testing.T) {
+	ctx := context.Background()
+	prog := tableTestProgram()
+	L := makeReference()
+	queries := oracleQueries(L)[:24]
+
+	m, err := prog.Compile(L, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]Match, len(queries))
+	// Warm pass: fills the cache and every ball-count slot the queries
+	// can reach, and sizes the pooled scratch.
+	if err := m.MatchBatchInto(ctx, queries, out); err != nil {
+		t.Fatal(err)
+	}
+
+	if n := testing.AllocsPerRun(50, func() {
+		for _, q := range queries {
+			if _, _, err := m.Match(ctx, q); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}); n != 0 {
+		t.Errorf("warm Match: %.1f allocs per %d queries, want 0", n, len(queries))
+	}
+	if n := testing.AllocsPerRun(50, func() {
+		if err := m.MatchBatchInto(ctx, queries, out); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("warm MatchBatchInto: %.1f allocs per batch, want 0", n)
+	}
+
+	t.Run("multi-column", func(t *testing.T) {
+		leftCols, rightCols, _ := makeMovieTables(false)
+		res, err := JoinMultiColumnTables(leftCols, rightCols, multiOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		mm, err := res.ToProgram().CompileMultiColumn(leftCols, Options{Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := make([][]string, len(rightCols[0]))
+		for i := range rows {
+			row := make([]string, len(rightCols))
+			for j := range rightCols {
+				row[j] = rightCols[j][i]
+			}
+			rows[i] = row
+		}
+		rows = rows[:16]
+		rout := make([]Match, len(rows))
+		if err := mm.MatchRowsInto(ctx, rows, rout); err != nil {
+			t.Fatal(err)
+		}
+		if n := testing.AllocsPerRun(50, func() {
+			if err := mm.MatchRowsInto(ctx, rows, rout); err != nil {
+				t.Fatal(err)
+			}
+		}); n != 0 {
+			t.Errorf("warm multi-column MatchRowsInto: %.1f allocs per batch, want 0", n)
+		}
+	})
+
+	t.Run("table", func(t *testing.T) {
+		tab, err := prog.NewTable(1, toRows(L), Options{Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Mutate once so the cache refills at a post-mutation generation —
+		// the steady state a served table actually sits in.
+		if _, err := tab.Add(toRows([]string{"2013 rice owls football team"})); err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range queries {
+			if _, _, err := tab.Match(ctx, q); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if n := testing.AllocsPerRun(50, func() {
+			for _, q := range queries {
+				if _, _, err := tab.Match(ctx, q); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}); n != 0 {
+			t.Errorf("warm Table.Match: %.1f allocs per %d queries, want 0", n, len(queries))
+		}
+	})
+}

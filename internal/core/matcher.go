@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"iter"
@@ -86,30 +87,41 @@ type Matcher struct {
 	balls      []atomic.Uint32
 	ballFactor float64
 
+	// cache is the query-normalization cache: one entry per distinct
+	// query surface form holding its columnar profiles and surviving
+	// candidate list, so repeated queries skip tokenization, blocking,
+	// and negative-rule filtering entirely. Matcher state never changes
+	// after Compile, so entries are stored under generation 0 forever.
+	cache *queryCache
+
 	parallelism int
 
 	pool sync.Pool // *matchScratch
 }
 
 // matcherCol bundles the compiled state of one program column: the corpus
-// statistics (for building query profiles), the precomputed reference
-// profiles, and the raw cells (for the multi-column missing-value rule).
+// statistics (for building query profiles), the columnar reference arena,
+// and the raw cells (for the multi-column missing-value rule). The
+// per-record pointer profiles used to build the arena are dropped after
+// Compile — the arena is the only reference-side representation the
+// query path reads.
 type matcherCol struct {
 	corpus *config.Corpus
-	profL  []*config.Profile
+	arena  *config.ProfileArena
 	cells  []string
 }
 
-// matchScratch is the reusable per-call state of the query path.
+// matchScratch is the reusable per-call state of the query path. After
+// the columnar refactor every field is either a persistent sub-scratch
+// or a pointer-free buffer (candidate ids, distance rows, key bytes), so
+// a pooled scratch pins no query-sized memory between calls and
+// putScratch needs no clearing.
 type matchScratch struct {
 	//autofj:keep persistent blocking sub-scratch; holds only capacity and generation stamps, never query data
 	sc        *blocking.Scratch
 	cands     []blocking.Candidate
 	ballCands []blocking.Candidate
-	ids       []int32
-	qprof     []*config.Profile
-	qcells    []string
-	qwords    []string
+	kbuf      []byte // composite cache key of a multi-column row
 	//autofj:keep persistent distance-kernel sub-scratch; rows are overwritten per pair and hold no references
 	esc   *config.EvalScratch
 	drow  []float64 // per-configuration distances of one candidate
@@ -118,7 +130,10 @@ type matchScratch struct {
 	bestL []int32   // per-configuration closest candidate
 }
 
-var errNeedRow = errors.New("core: matcher was compiled from a multi-column program; use MatchRow or MatchRows")
+var (
+	errNeedRow    = errors.New("core: matcher was compiled from a multi-column program; use MatchRow or MatchRows")
+	errBatchShape = errors.New("core: result slice length must equal the record count")
+)
 
 // Compile builds a serving Matcher for a single-column program against
 // the reference table left. Preparation (blocking index, profiles,
@@ -207,12 +222,15 @@ func (p *Program) compile(progCols [][]string, leftKey []string, columns []int, 
 	m.cols = make([]matcherCol, len(progCols))
 	for j, colRecs := range progCols {
 		corpus := config.NewCorpus(space, colRecs)
+		// The pointer profiles exist only long enough to flatten into the
+		// columnar arena; the query path reads the arena exclusively.
 		m.cols[j] = matcherCol{
 			corpus: corpus,
-			profL:  corpus.Profiles(colRecs, opt.Parallelism),
+			arena:  corpus.BuildArena(corpus.Profiles(colRecs, opt.Parallelism)),
 			cells:  colRecs,
 		}
 	}
+	m.cache = newQueryCache(opt.QueryCacheSize)
 	if len(p.NegativeRules) > 0 {
 		set := negrule.NewSet()
 		for _, pair := range p.NegativeRules {
@@ -223,14 +241,12 @@ func (p *Program) compile(progCols [][]string, leftKey []string, columns []int, 
 	m.balls = make([]atomic.Uint32, len(configs)*len(leftKey))
 	m.pool.New = func() any {
 		return &matchScratch{
-			sc:     m.ix.NewScratch(),
-			qprof:  make([]*config.Profile, len(m.cols)),
-			qcells: make([]string, len(m.cols)),
-			esc:    m.eval.NewScratch(),
-			drow:   make([]float64, len(m.configs)),
-			crow:   make([]float64, len(m.configs)),
-			bestD:  make([]float64, len(m.configs)),
-			bestL:  make([]int32, len(m.configs)),
+			sc:    m.ix.NewScratch(),
+			esc:   m.eval.NewScratch(),
+			drow:  make([]float64, len(m.configs)),
+			crow:  make([]float64, len(m.configs)),
+			bestD: make([]float64, len(m.configs)),
+			bestL: make([]int32, len(m.configs)),
 		}
 	}
 	return m, nil
@@ -264,32 +280,28 @@ func (m *Matcher) Program() []Configuration {
 
 func (m *Matcher) getScratch() *matchScratch { return m.pool.Get().(*matchScratch) }
 
-// putScratch returns a scratch to the pool with every query-derived
-// reference released: a pooled scratch lives for the matcher's lifetime,
-// so a leftover profile, cell, or word set would pin arbitrary user input
-// in a long-lived server. qwords is cleared to capacity — AppendWordSet
-// reslices it from zero, so entries beyond the current length still hold
-// strings from earlier (longer) queries.
+// putScratch returns a scratch to the pool. Since the columnar refactor
+// the scratch holds no query-derived references — query profiles, cells,
+// and word sets live in immutable cache entries, and every scratch
+// buffer is pointer-free (ids, float rows, key bytes) — so nothing needs
+// clearing; TestScratchRetainsNoQueryMemory pins that invariant.
 //
 //autofj:hotpath
 func (m *Matcher) putScratch(ms *matchScratch) {
-	clear(ms.qprof)
-	clear(ms.qcells)
-	clear(ms.qwords[:cap(ms.qwords)])
 	m.pool.Put(ms)
 }
 
 // pairDists fills ms.drow with the distance of EVERY configuration
-// between reference record l and the current query profiles — one fused
-// kernel pass per (pair, representation) instead of one per
+// between reference record l and the cached query profiles — one fused
+// arena-kernel pass per (pair, representation) instead of one per
 // configuration. Multi-column distances reproduce the learned tensor
 // semantics: per-column float32 rounding and maximal distance for two
 // missing cells.
 //
 //autofj:hotpath
-func (m *Matcher) pairDists(ms *matchScratch, l int32) {
+func (m *Matcher) pairDists(ms *matchScratch, e *queryEntry, l int32) {
 	if !m.multi {
-		m.eval.Distances(m.cols[0].profL[l], ms.qprof[0], ms.esc, ms.drow)
+		m.eval.ArenaDistances(m.cols[0].arena, l, e.qprofs[0], ms.esc, ms.drow)
 		return
 	}
 	for ci := range ms.drow {
@@ -297,13 +309,13 @@ func (m *Matcher) pairDists(ms *matchScratch, l int32) {
 	}
 	for j := range m.cols {
 		c := &m.cols[j]
-		if c.cells[l] == "" && ms.qcells[j] == "" {
+		if c.cells[l] == "" && e.qcells[j] == "" {
 			for ci := range ms.drow {
 				ms.drow[ci] += m.weights[j]
 			}
 			continue
 		}
-		m.eval.Distances(c.profL[l], ms.qprof[j], ms.esc, ms.crow)
+		m.eval.ArenaDistances(c.arena, l, e.qprofs[j], ms.esc, ms.crow)
 		for ci := range ms.drow {
 			ms.drow[ci] += m.weights[j] * float64(float32(ms.crow[ci]))
 		}
@@ -311,16 +323,18 @@ func (m *Matcher) pairDists(ms *matchScratch, l int32) {
 }
 
 // leftDist evaluates configuration ci between two reference records (the
-// ball-construction distance). This stays on the one-function
-// compatibility path: ball counts are computed once per (configuration,
-// record) and cached, so there is no shared work to fuse.
+// ball-construction distance), on the fused arena kernels: the full
+// distance row of the pair costs one kernel pass per representation, and
+// the serving program's function count is small, so extracting one entry
+// from the row beats re-deriving the representations on the allocating
+// one-function path. ms.drow/ms.crow are free here — ball counts are
+// only taken after the candidate scan has finished with them.
 //
 //autofj:hotpath
-func (m *Matcher) leftDist(ci int, a, b int32) float64 {
-	f := m.configs[ci].Function
+func (m *Matcher) leftDist(ci int, a, b int32, ms *matchScratch) float64 {
 	if !m.multi {
-		//autofj:alloc-ok character distances need O(len) rune scratch; the per-call cost is capped by the benchgate allocs/op budget
-		return f.Distance(m.cols[0].profL[a], m.cols[0].profL[b])
+		m.eval.ArenaPairDistances(m.cols[0].arena, a, b, ms.esc, ms.drow)
+		return ms.drow[ci]
 	}
 	var d float64
 	for j := range m.cols {
@@ -329,8 +343,8 @@ func (m *Matcher) leftDist(ci int, a, b int32) float64 {
 			d += m.weights[j]
 			continue
 		}
-		//autofj:alloc-ok character distances need O(len) rune scratch; the per-call cost is capped by the benchgate allocs/op budget
-		d += m.weights[j] * float64(float32(f.Distance(c.profL[a], c.profL[b])))
+		m.eval.ArenaPairDistances(c.arena, a, b, ms.esc, ms.crow)
+		d += m.weights[j] * float64(float32(ms.crow[ci]))
 	}
 	return d
 }
@@ -351,7 +365,7 @@ func (m *Matcher) ballCount(ci int, l int32, ms *matchScratch) uint32 {
 	ms.ballCands = m.ix.AppendTopKSelf(ms.ballCands[:0], ms.sc, int(l), m.k)
 	count := uint32(1)
 	for _, c := range ms.ballCands {
-		if m.leftDist(ci, l, c.ID) <= radius {
+		if m.leftDist(ci, l, c.ID, ms) <= radius {
 			count++
 		}
 	}
@@ -362,43 +376,84 @@ func (m *Matcher) ballCount(ci int, l int32, ms *matchScratch) uint32 {
 	return count
 }
 
-// matchOne runs the full query path for one record: blocking, negative-
-// rule vetoes, per-configuration closest-candidate scans, and the
-// learning-faithful union resolution.
+// fillEntry is the cache-fill edge of the query path: blocking,
+// negative-rule vetoes, and columnar query-profile construction for one
+// surface form, packaged into an immutable cache entry. It allocates
+// freely — the work amortizes across every repeat of the query — and the
+// entry shares nothing with the scratch, so pooled scratches never pin
+// query memory.
+func (m *Matcher) fillEntry(ms *matchScratch, key string, row []string) *queryEntry {
+	e := &queryEntry{}
+	ms.cands = m.ix.AppendTopK(ms.cands[:0], ms.sc, key, m.k, -1)
+	e.cands = make([]int32, 0, len(ms.cands))
+	if m.rules != nil && m.rules.Len() > 0 {
+		qwords := negrule.AppendWordSet(nil, key)
+		for _, c := range ms.cands {
+			if !m.rules.Blocks(int(c.ID), qwords) {
+				e.cands = append(e.cands, c.ID)
+			}
+		}
+	} else {
+		for _, c := range ms.cands {
+			e.cands = append(e.cands, c.ID)
+		}
+	}
+	if m.multi {
+		e.qcells = make([]string, len(m.cols))
+		for j, cj := range m.columns {
+			e.qcells[j] = row[cj]
+		}
+	}
+	e.qprofs = make([]*config.QueryProfile, len(m.cols))
+	for j := range m.cols {
+		cell := key
+		if m.multi {
+			cell = e.qcells[j]
+		}
+		e.qprofs[j] = m.cols[j].corpus.ArenaQuery(m.cols[j].arena, cell)
+	}
+	return e
+}
+
+// matchOne runs the full query path for one record: the cached (or
+// freshly filled) blocking + negative-rule + query-profile entry, the
+// per-configuration closest-candidate scans over the columnar arena, and
+// the learning-faithful union resolution.
 //
 //autofj:hotpath
 func (m *Matcher) matchOne(ms *matchScratch, key string, row []string) (Match, bool) {
 	if len(m.configs) == 0 || m.nL == 0 {
 		return noMatch(), false
 	}
-	ms.cands = m.ix.AppendTopK(ms.cands[:0], ms.sc, key, m.k, -1)
-	ids := ms.ids[:0]
-	if m.rules != nil && m.rules.Len() > 0 {
-		ms.qwords = negrule.AppendWordSet(ms.qwords[:0], key)
-		for _, c := range ms.cands {
-			if !m.rules.Blocks(int(c.ID), ms.qwords) {
-				ids = append(ids, c.ID)
-			}
-		}
-	} else {
-		for _, c := range ms.cands {
-			ids = append(ids, c.ID)
-		}
-	}
-	ms.ids = ids
-	if len(ids) == 0 {
-		return noMatch(), false
-	}
+	var e *queryEntry
 	if m.multi {
-		for j, cj := range m.columns {
-			ms.qcells[j] = row[cj]
-		}
+		// The cache key covers the FULL row: the blocking key concatenates
+		// every cell, so rows differing only outside the program's columns
+		// can still block differently.
+		ms.kbuf = appendRowKey(ms.kbuf[:0], row)
+		e = m.cache.lookupBytes(ms.kbuf, 0)
 	} else {
-		ms.qcells[0] = key
+		e = m.cache.lookup(key, 0)
 	}
-	for j := range m.cols {
-		//autofj:alloc-ok one profile bundle per query cell; amortized across every configuration scored against it
-		ms.qprof[j] = m.cols[j].corpus.Profile(ms.qcells[j])
+	if e == nil {
+		if m.multi && key == "" {
+			// Multi-column callers pass an empty key so the concatenated
+			// blocking key is only materialized on a cache miss — the warm
+			// path never touches it.
+			//autofj:alloc-ok cache-fill edge: the blocking key is concatenated once per distinct row
+			key = concatRow(row)
+		}
+		//autofj:alloc-ok cache-fill edge: one entry build per distinct surface form, amortized across every repeat
+		e = m.fillEntry(ms, key, row)
+		if m.multi {
+			//autofj:alloc-ok cache-fill edge: the composite key string is materialized once per distinct row
+			m.cache.storeBytes(ms.kbuf, e)
+		} else {
+			m.cache.store(key, e)
+		}
+	}
+	if len(e.cands) == 0 {
+		return noMatch(), false
 	}
 	// Pair-major candidate scan: one fused evaluation per candidate fills
 	// every configuration's distance, and a strict < keeps the first
@@ -407,8 +462,8 @@ func (m *Matcher) matchOne(ms *matchScratch, key string, row []string) (Match, b
 		ms.bestL[ci] = -1
 		ms.bestD[ci] = math.Inf(1)
 	}
-	for _, l := range ids {
-		m.pairDists(ms, l)
+	for _, l := range e.cands {
+		m.pairDists(ms, e, l)
 		for ci := range ms.drow {
 			if ms.drow[ci] < ms.bestD[ci] {
 				ms.bestD[ci] = ms.drow[ci]
@@ -445,6 +500,24 @@ func concatRow(row []string) string {
 	return strings.Join(strings.Fields(strings.Join(row, " ")), " ")
 }
 
+// appendRowKey appends a collision-free composite cache key for a row:
+// each cell is uvarint-length-prefixed, so no cell contents can forge a
+// boundary (joining with a separator byte could).
+//
+//autofj:hotpath
+func appendRowKey(dst []byte, row []string) []byte {
+	for _, cell := range row {
+		dst = binary.AppendUvarint(dst, uint64(len(cell)))
+		dst = append(dst, cell...)
+	}
+	return dst
+}
+
+// QueryCacheStats returns the cumulative hit/miss counters of the
+// query-normalization cache (a disabled cache reports every lookup as a
+// miss).
+func (m *Matcher) QueryCacheStats() (hits, misses uint64) { return m.cache.stats() }
+
 // Match matches one query record, returning the join (if any) with its
 // distance and unsupervised precision estimate. Safe for concurrent use.
 func (m *Matcher) Match(ctx context.Context, record string) (Match, bool, error) {
@@ -480,7 +553,7 @@ func (m *Matcher) MatchRow(ctx context.Context, row []string) (Match, bool, erro
 	}
 	ms := m.getScratch()
 	defer m.putScratch(ms)
-	mt, ok := m.matchOne(ms, concatRow(row), row)
+	mt, ok := m.matchOne(ms, "", row)
 	return mt, ok, nil
 }
 
@@ -513,12 +586,91 @@ func (m *Matcher) MatchRows(ctx context.Context, rows [][]string) ([]Match, erro
 	return m.batch(ctx, len(rows), func(ms *matchScratch, i int) Match {
 		var mt Match
 		if m.multi {
-			mt, _ = m.matchOne(ms, concatRow(rows[i]), rows[i])
+			mt, _ = m.matchOne(ms, "", rows[i])
 		} else {
 			mt, _ = m.matchOne(ms, rows[i][0], nil)
 		}
 		return mt
 	})
+}
+
+// MatchBatchInto is MatchBatch writing into a caller-provided result
+// slice (len(out) must equal len(records)): the steady-state form for
+// serving loops that reuse one result buffer. At effective parallelism 1
+// the whole call is allocation-free once the query cache is warm; wider
+// fan-out costs O(workers) goroutine bookkeeping per call.
+func (m *Matcher) MatchBatchInto(ctx context.Context, records []string, out []Match) error {
+	if m.multi {
+		return errNeedRow
+	}
+	if len(out) != len(records) {
+		return errBatchShape
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if parallel.Workers(m.parallelism, len(records)) > 1 {
+		return m.batchInto(ctx, out, func(ms *matchScratch, i int) Match {
+			mt, _ := m.matchOne(ms, records[i], nil)
+			return mt
+		})
+	}
+	ms := m.getScratch()
+	defer m.putScratch(ms)
+	for i := range records {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		out[i], _ = m.matchOne(ms, records[i], nil)
+	}
+	return nil
+}
+
+// MatchRowsInto is MatchRows writing into a caller-provided result slice
+// (len(out) must equal len(rows)). Like MatchBatchInto, effective
+// parallelism 1 runs a closure-free inline loop that is allocation-free
+// once the query cache is warm — the steady-state form for row-based
+// serving loops.
+func (m *Matcher) MatchRowsInto(ctx context.Context, rows [][]string, out []Match) error {
+	if len(out) != len(rows) {
+		return errBatchShape
+	}
+	for i, row := range rows {
+		if m.multi {
+			if len(row) != m.rowWidth {
+				return fmt.Errorf("core: row %d has %d cells, want %d (the reference table's arity)", i, len(row), m.rowWidth)
+			}
+		} else if len(row) != 1 {
+			return fmt.Errorf("core: row %d has %d cells; single-column matcher wants 1", i, len(row))
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if parallel.Workers(m.parallelism, len(rows)) > 1 {
+		return m.batchInto(ctx, out, func(ms *matchScratch, i int) Match {
+			var mt Match
+			if m.multi {
+				mt, _ = m.matchOne(ms, "", rows[i])
+			} else {
+				mt, _ = m.matchOne(ms, rows[i][0], nil)
+			}
+			return mt
+		})
+	}
+	ms := m.getScratch()
+	defer m.putScratch(ms)
+	for i, row := range rows {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if m.multi {
+			out[i], _ = m.matchOne(ms, "", row)
+		} else {
+			out[i], _ = m.matchOne(ms, row[0], nil)
+		}
+	}
+	return nil
 }
 
 // batch shards n independent queries across workers, each with pooled
@@ -529,8 +681,16 @@ func (m *Matcher) batch(ctx context.Context, n int, one func(*matchScratch, int)
 		return nil, err
 	}
 	out := make([]Match, n)
+	if err := m.batchInto(ctx, out, one); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// batchInto is the sharded fan-out behind batch and MatchBatchInto.
+func (m *Matcher) batchInto(ctx context.Context, out []Match, one func(*matchScratch, int) Match) error {
 	var stop atomic.Bool
-	parallel.Shard(n, parallel.Workers(m.parallelism, n), func(_, start, end int) {
+	parallel.Shard(len(out), parallel.Workers(m.parallelism, len(out)), func(_, start, end int) {
 		ms := m.getScratch()
 		defer m.putScratch(ms)
 		for i := start; i < end; i++ {
@@ -544,10 +704,7 @@ func (m *Matcher) batch(ctx context.Context, n int, one func(*matchScratch, int)
 			out[i] = one(ms, i)
 		}
 	})
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	return out, nil
+	return ctx.Err()
 }
 
 // StreamMatch is one element of a MatchStream: the query's position in

@@ -4,6 +4,7 @@ import (
 	"context"
 	"iter"
 	"math/rand"
+	"reflect"
 	"runtime"
 	"sync"
 	"testing"
@@ -428,12 +429,60 @@ func TestMatcherEmptyProgram(t *testing.T) {
 	}
 }
 
-// TestPutScratchReleasesQueryReferences: a pooled scratch lives for the
-// matcher's lifetime, so returning one to the pool must drop every
-// query-derived reference (profiles, raw cells, and the negative-rule
-// word set up to its full capacity) — otherwise a long-lived server pins
-// arbitrary user input between requests.
-func TestPutScratchReleasesQueryReferences(t *testing.T) {
+// pointerFreeType reports whether a type can hold no references other
+// than the backing array of pointer-free slices — i.e. retaining a value
+// of the type pins only its own bounded capacity, never query data.
+func pointerFreeType(t reflect.Type) bool {
+	switch t.Kind() {
+	case reflect.Bool,
+		reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr,
+		reflect.Float32, reflect.Float64, reflect.Complex64, reflect.Complex128:
+		return true
+	case reflect.Array, reflect.Slice:
+		return pointerFreeType(t.Elem())
+	case reflect.Struct:
+		for i := 0; i < t.NumField(); i++ {
+			if !pointerFreeType(t.Field(i).Type) {
+				return false
+			}
+		}
+		return true
+	default:
+		// Strings, pointers, maps, chans, funcs, interfaces: all can pin
+		// query-derived memory.
+		return false
+	}
+}
+
+// TestScratchRetainsNoQueryMemory: a pooled scratch lives for the
+// matcher's lifetime, so it must be structurally incapable of pinning
+// query-sized memory between requests — every field is either a
+// whitelisted persistent sub-scratch (blocking/eval kernel state that
+// never stores query data) or a pointer-free buffer whose backing array
+// is bounded scratch capacity. The columnar refactor moved all
+// query-derived references (profiles, cells, word sets) into immutable
+// cache entries, so putScratch needs no clearing; this test fails the
+// moment someone adds a reference-holding field back without pooling
+// hygiene.
+func TestScratchRetainsNoQueryMemory(t *testing.T) {
+	persistent := map[string]bool{
+		"sc":  true, // *blocking.Scratch: capacity + generation stamps only
+		"esc": true, // *config.EvalScratch: reusable DP rows only
+	}
+	st := reflect.TypeOf(matchScratch{})
+	for i := 0; i < st.NumField(); i++ {
+		f := st.Field(i)
+		if persistent[f.Name] {
+			continue
+		}
+		if !pointerFreeType(f.Type) {
+			t.Errorf("matchScratch.%s (%s) can hold references; pooled scratch would pin query memory across requests", f.Name, f.Type)
+		}
+	}
+
+	// And the scratch actually cycles through the pool intact: a query
+	// populates it, putScratch returns it, and the next query reuses it.
 	prog := &Program{
 		Version: 1,
 		Configurations: []ConfigurationSpec{
@@ -447,28 +496,15 @@ func TestPutScratchReleasesQueryReferences(t *testing.T) {
 		t.Fatal(err)
 	}
 	ms := m.getScratch()
-	// A long query first, so a later shorter query leaves stale words in
-	// the qwords backing array beyond the reslice length.
 	m.matchOne(ms, "2008 wisconsin badgers football team alpha beta gamma delta", nil)
 	m.matchOne(ms, "lsu tigers", nil)
-	if ms.qcells[0] == "" || len(ms.qwords) == 0 {
+	if len(ms.cands) == 0 {
 		t.Fatal("query did not populate the scratch; the test is vacuous")
 	}
 	m.putScratch(ms)
-	for i, p := range ms.qprof {
-		if p != nil {
-			t.Errorf("qprof[%d] still pinned after putScratch", i)
-		}
-	}
-	for i, c := range ms.qcells {
-		if c != "" {
-			t.Errorf("qcells[%d] = %q still pinned after putScratch", i, c)
-		}
-	}
-	for i, w := range ms.qwords[:cap(ms.qwords)] {
-		if w != "" {
-			t.Errorf("qwords[%d] = %q still pinned after putScratch (cap %d)", i, w, cap(ms.qwords))
-		}
+	if got := m.getScratch(); got != ms {
+		// Pool behavior is best-effort; only note, don't fail.
+		t.Logf("pool handed back a different scratch (GC ran); structural check above still holds")
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"sort"
 
 	"unsafe"
 
@@ -38,13 +39,23 @@ import (
 // little-endian blocks aliased straight out of it. Cheaply derivable state
 // — blocking keys, cells — is recomputed rather than stored.
 //
+// Version 2 dictionary-encodes the token columns: each (segment, program
+// column) stores its sorted distinct tokens once, and every count vector
+// stores gap-encoded varint indices into that dictionary instead of
+// repeating the token bytes per row. The dictionary is sorted and the
+// indices strictly ascend, so ascending indices are ascending tokens —
+// decoded vectors keep the sortedness the distance kernels rely on
+// without a per-token string comparison.
+//
 // Load never trusts the input: every count is bounds-checked against the
 // remaining bytes and every cross-reference is validated, so a truncated or
-// corrupted file yields a descriptive error, never a panic.
+// corrupted file yields a descriptive error, never a panic. Only the
+// current version loads — a snapshot is a cache of a compile, so an old
+// reader answers with "recompile", never with a best-effort decode.
 
 const (
 	snapshotMagic     = "AFJS"
-	snapshotVersion   = 1
+	snapshotVersion   = 2
 	snapshotHeaderLen = 9 // magic + version byte + crc32c
 )
 
@@ -261,17 +272,33 @@ func (t *Table) encodeBody() []byte {
 		for j := range t.cols {
 			corpus := t.cols[j].corpus
 			totalToks := 0
+			dictIdx := make(map[string]uint64)
 			for i := 0; i < n; i++ {
 				parts := corpus.Parts(pl.profs[j][i])
 				for pi := range parts.CountSet {
 					for ti := range parts.CountSet[pi] {
 						if parts.CountSet[pi][ti] {
-							totalToks += len(parts.Counts[pi][ti].Tokens)
+							toks := parts.Counts[pi][ti].Tokens
+							totalToks += len(toks)
+							for _, tok := range toks {
+								dictIdx[tok] = 0
+							}
 						}
 					}
 				}
 			}
+			// The column's token dictionary: sorted distinct tokens, written
+			// once; count vectors below store indices into it.
+			dict := make([]string, 0, len(dictIdx))
+			for tok := range dictIdx {
+				dict = append(dict, tok)
+			}
+			sort.Strings(dict)
+			for i, tok := range dict {
+				dictIdx[tok] = uint64(i)
+			}
 			w.uvarint(uint64(totalToks))
+			w.strs(dict)
 			for i := 0; i < n; i++ {
 				// Each profile is length-prefixed so Load can verify it was
 				// consumed exactly and fail before any cross-profile smearing.
@@ -281,7 +308,7 @@ func (t *Table) encodeBody() []byte {
 				// prefix's width.
 				off := w.buf.Len()
 				w.buf.Write([]byte{0, 0, 0, 0})
-				w.profile(corpus, pl.profs[j][i])
+				w.profile(corpus, pl.profs[j][i], dictIdx)
 				binary.LittleEndian.PutUint32(w.buf.Bytes()[off:off+4], uint32(w.buf.Len()-off-4))
 			}
 		}
@@ -335,8 +362,12 @@ func (t *Table) encodeBody() []byte {
 // profile serializes the representation-need-guided parts of one count
 // profile. Raw is not stored (it equals the cell); proc strings,
 // embeddings, and count vectors are, because recomputing them is the bulk
-// of compile cost.
-func (w *snapWriter) profile(corpus *config.Corpus, p *config.Profile) {
+// of compile cost. Tokens are stored as gap-encoded varint indices into
+// the column dictionary: the first index raw, each later one as the
+// (strictly positive) increment over its predecessor — vector tokens are
+// sorted distinct strings and the dictionary is sorted, so the gaps are
+// small and almost always one byte.
+func (w *snapWriter) profile(corpus *config.Corpus, p *config.Profile, dictIdx map[string]uint64) {
 	parts := corpus.Parts(p)
 	for pi := range parts.ProcSet {
 		if !parts.ProcSet[pi] {
@@ -353,7 +384,17 @@ func (w *snapWriter) profile(corpus *config.Corpus, p *config.Profile) {
 				continue
 			}
 			vec := parts.Counts[pi][ti]
-			w.strs(vec.Tokens)
+			w.uvarint(uint64(len(vec.Tokens)))
+			var prev uint64
+			for i, tok := range vec.Tokens {
+				idx := dictIdx[tok]
+				if i == 0 {
+					w.uvarint(idx)
+				} else {
+					w.uvarint(idx - prev)
+				}
+				prev = idx
+			}
 			// Sum and Norm are stored rather than recomputed at load — the
 			// saved table's exact bits. The counts themselves stay varints:
 			// they are whole numbers by construction and almost always one
@@ -807,8 +848,16 @@ func (t *Table) decodeSegment(r *snapReader) error {
 	for j := range t.cols {
 		corpus := t.cols[j].corpus
 		totalToks := r.count(1)
+		dict := r.strs()
 		if r.err != nil {
 			return r.err
+		}
+		for i := 1; i < len(dict); i++ {
+			// A sorted dictionary is what makes "ascending indices" mean
+			// "ascending tokens" for every vector decoded below.
+			if dict[i] <= dict[i-1] {
+				return fmt.Errorf("core: invalid snapshot: token dictionary out of order")
+			}
 		}
 		tokArena := make([]string, totalToks)
 		wArena := make([]float64, totalToks)
@@ -840,7 +889,7 @@ func (t *Table) decodeSegment(r *snapReader) error {
 			}
 			dst := &chunk[0]
 			chunk = chunk[1:]
-			if err := r.profile(corpus, pl.cells[j][i], dst, &parts, &tokArena, &wArena, &vecArena); err != nil {
+			if err := r.profile(corpus, pl.cells[j][i], dst, dict, &parts, &tokArena, &wArena, &vecArena); err != nil {
 				return err
 			}
 			if r.pos != end {
@@ -868,12 +917,15 @@ func (t *Table) decodeSegment(r *snapReader) error {
 }
 
 // profile decodes one count profile into dst (a zeroed arena slot),
-// slicing token and weight storage off the shared arenas. Sum and Norm of
-// each count vector carry the saved table's exact bits; token sortedness
-// and count positivity are validated so a corrupted snapshot cannot
-// smuggle in a vector the distance kernels would misbehave on. parts is
-// caller-owned scratch.
-func (r *snapReader) profile(corpus *config.Corpus, cell string, dst *config.Profile, parts *config.ProfileParts, tokArena *[]string, wArena *[]float64, vecArena *[]config.VecBlock) error {
+// slicing token and weight storage off the shared arenas. Tokens arrive
+// as gap-encoded indices into the column dictionary; strictly positive
+// gaps against a validated-sorted dictionary guarantee the decoded token
+// list is sorted and distinct without comparing a single string. Sum and
+// Norm of each count vector carry the saved table's exact bits; count
+// positivity is validated so a corrupted snapshot cannot smuggle in a
+// vector the distance kernels would misbehave on. parts is caller-owned
+// scratch.
+func (r *snapReader) profile(corpus *config.Corpus, cell string, dst *config.Profile, dict []string, parts *config.ProfileParts, tokArena *[]string, wArena *[]float64, vecArena *[]config.VecBlock) error {
 	parts.Raw = cell
 	for pi := range parts.ProcSet {
 		pre := textproc.Option(pi)
@@ -892,19 +944,43 @@ func (r *snapReader) profile(corpus *config.Corpus, cell string, dst *config.Pro
 			if !corpus.NeedCounts(pre, tokenize.Option(ti)) {
 				continue
 			}
-			tokens := r.strsArena(tokArena)
+			nt := r.count(1)
 			if r.err != nil {
 				return r.err
 			}
-			sum := r.f64()
-			norm := r.f64()
-			if len(tokens) > len(*wArena) {
+			if nt > len(*tokArena) {
 				r.fail("count vector exceeds the declared token total")
 				return r.err
 			}
-			ws := (*wArena)[:len(tokens):len(tokens)]
-			*wArena = (*wArena)[len(tokens):]
-			prev := ""
+			tokens := (*tokArena)[:nt:nt]
+			*tokArena = (*tokArena)[nt:]
+			var idx uint64
+			for i := 0; i < nt; i++ {
+				gap := r.uvarint()
+				if r.err != nil {
+					return r.err
+				}
+				if i == 0 {
+					idx = gap
+				} else {
+					if gap == 0 {
+						return fmt.Errorf("core: invalid snapshot: count vector tokens out of order")
+					}
+					idx += gap
+				}
+				if idx >= uint64(len(dict)) {
+					return fmt.Errorf("core: invalid snapshot: token index %d out of dictionary range %d", idx, len(dict))
+				}
+				tokens[i] = dict[idx]
+			}
+			sum := r.f64()
+			norm := r.f64()
+			if nt > len(*wArena) {
+				r.fail("count vector exceeds the declared token total")
+				return r.err
+			}
+			ws := (*wArena)[:nt:nt]
+			*wArena = (*wArena)[nt:]
 			for i := range tokens {
 				c := r.uvarint()
 				if r.err != nil {
@@ -913,10 +989,6 @@ func (r *snapReader) profile(corpus *config.Corpus, cell string, dst *config.Pro
 				if c == 0 || c > 1<<32 {
 					return fmt.Errorf("core: invalid snapshot: token count %d out of range", c)
 				}
-				if i > 0 && tokens[i] <= prev {
-					return fmt.Errorf("core: invalid snapshot: count vector tokens out of order")
-				}
-				prev = tokens[i]
 				ws[i] = float64(c)
 			}
 			parts.Counts[pi][ti] = distance.Sparse{

@@ -62,6 +62,14 @@ type Table struct {
 	cols  []tableCol
 	balls []atomic.Uint64 // packed statsGen<<32 | count, by ci*ballStride+dense
 
+	// cache is the query-normalization cache, keyed by the mutation
+	// generation: repeated query surface forms skip tokenization, merged
+	// blocking, negative-rule vetoes, and query-profile construction.
+	// Entries fill under the read lock at the generation they observe and
+	// read as misses after any mutation, so the table can never serve
+	// stale candidates, profiles, or IDF weights.
+	cache *queryCache
+
 	gen atomic.Uint64
 
 	pool sync.Pool // *tableScratch
@@ -144,16 +152,17 @@ func (pl *tablePayload) tail(m int) *tablePayload {
 	return np
 }
 
-// tableScratch is the reusable per-call query state.
+// tableScratch is the reusable per-call query state. Query-derived
+// references (profiles, cells, word sets) live in immutable
+// generation-keyed cache entries, not here: every scratch field is a
+// persistent sub-scratch or a pointer-free buffer, mirroring
+// matchScratch.
 type tableScratch struct {
 	//autofj:keep persistent blocking sub-scratch; holds only capacity and generation stamps, never query data
 	sc        *blocking.TableScratch
 	cands     []blocking.Candidate
 	ballCands []blocking.Candidate
-	ids       []int32
-	qprof     []*config.Profile
-	qcells    []string
-	qwords    []string
+	kbuf      []byte // composite cache key of a multi-column row
 	//autofj:keep persistent distance-kernel sub-scratch; rows are overwritten per pair and hold no references
 	esc *config.EvalScratch
 	//autofj:keep persistent reweight buffers; released on put, numeric buffers hold no references
@@ -283,17 +292,16 @@ func (p *Program) NewTable(width int, rows [][]string, opt Options) (*Table, err
 	}
 	t.k = blocking.K(t.tix.Len(), t.beta)
 	t.growBalls()
+	t.cache = newQueryCache(opt.QueryCacheSize)
 	t.gen.Store(1)
 	t.pool.New = func() any {
 		return &tableScratch{
-			sc:     blocking.NewTableScratch(),
-			qprof:  make([]*config.Profile, len(t.cols)),
-			qcells: make([]string, len(t.cols)),
-			esc:    t.eval.NewScratch(),
-			drow:   make([]float64, len(t.configs)),
-			crow:   make([]float64, len(t.configs)),
-			bestD:  make([]float64, len(t.configs)),
-			bestL:  make([]int32, len(t.configs)),
+			sc:    blocking.NewTableScratch(),
+			esc:   t.eval.NewScratch(),
+			drow:  make([]float64, len(t.configs)),
+			crow:  make([]float64, len(t.configs)),
+			bestD: make([]float64, len(t.configs)),
+			bestL: make([]int32, len(t.configs)),
 		}
 	}
 	return t, nil
@@ -403,6 +411,12 @@ func (t *Table) Program() []Configuration {
 // remove, and compaction swap, always before the change is visible to
 // queries. Cache layers key results on (generation, query).
 func (t *Table) Generation() uint64 { return t.gen.Load() }
+
+// QueryCacheStats returns the cumulative hit/miss counters of the
+// query-normalization cache. Mutations turn previously-hot entries into
+// misses (entries are generation-keyed), so a rising miss rate on a busy
+// table usually tracks its mutation rate.
+func (t *Table) QueryCacheStats() (hits, misses uint64) { return t.cache.stats() }
 
 // DeltaLen returns the number of uncompiled delta slots (tombstoned ones
 // included) — the compaction pressure.
@@ -678,29 +692,29 @@ func (t *Table) profile(j int, pl *tablePayload, local int32, rs *config.Reweigh
 }
 
 // pairDists fills ms.drow with every configuration's distance between
-// reference row ref and the current query profiles — the Table form of
+// reference row ref and the cached query profiles — the Table form of
 // Matcher.pairDists, with identical multi-column float32 rounding and
 // missing-value semantics.
 //
 //autofj:hotpath
-func (t *Table) pairDists(ms *tableScratch, ref blocking.Ref) {
+func (t *Table) pairDists(ms *tableScratch, e *queryEntry, ref blocking.Ref) {
 	pl, local := t.payload(ref)
 	if !t.multi {
-		t.eval.Distances(t.profile(0, pl, local, &ms.rwa), ms.qprof[0], ms.esc, ms.drow)
+		t.eval.Distances(t.profile(0, pl, local, &ms.rwa), e.profs[0], ms.esc, ms.drow)
 		return
 	}
 	for ci := range ms.drow {
 		ms.drow[ci] = 0
 	}
 	for j := range t.cols {
-		if pl.cells[j][local] == "" && ms.qcells[j] == "" {
+		if pl.cells[j][local] == "" && e.qcells[j] == "" {
 			for ci := range ms.drow {
 				ms.drow[ci] += t.weights[j]
 			}
 			continue
 		}
 		lp := t.profile(j, pl, local, &ms.rwa)
-		t.eval.Distances(lp, ms.qprof[j], ms.esc, ms.crow)
+		t.eval.Distances(lp, e.profs[j], ms.esc, ms.crow)
 		for ci := range ms.drow {
 			ms.drow[ci] += t.weights[j] * float64(float32(ms.crow[ci]))
 		}
@@ -762,53 +776,91 @@ func (t *Table) ballCount(ci int, l int32, ms *tableScratch) uint32 {
 	return count
 }
 
+// fillEntry is the Table's cache-fill edge: merged blocking,
+// negative-rule vetoes, and query-profile construction for one surface
+// form under the current generation's statistics, packaged into an
+// immutable cache entry. Caller must hold the read lock (the profiles
+// read the live IDF statistics).
+func (t *Table) fillEntry(ms *tableScratch, gen uint64, key string, row []string) *queryEntry {
+	e := &queryEntry{gen: gen}
+	ms.cands = t.tix.AppendTopK(ms.cands[:0], ms.sc, key, t.k)
+	e.cands = make([]int32, 0, len(ms.cands))
+	if t.hasRules {
+		qwords := negrule.AppendWordSet(nil, key)
+		for _, c := range ms.cands {
+			pl, local := t.payload(t.tix.Ref(int(c.ID)))
+			if !t.rules.BlocksPair(pl.words[local], qwords) {
+				e.cands = append(e.cands, c.ID)
+			}
+		}
+	} else {
+		for _, c := range ms.cands {
+			e.cands = append(e.cands, c.ID)
+		}
+	}
+	e.qcells = make([]string, len(t.cols))
+	if t.multi {
+		for j, cj := range t.columns {
+			e.qcells[j] = row[cj]
+		}
+	} else {
+		e.qcells[0] = key
+	}
+	e.profs = make([]*config.Profile, len(t.cols))
+	for j := range t.cols {
+		e.profs[j] = t.cols[j].corpus.Profile(e.qcells[j])
+	}
+	return e
+}
+
 // matchOne runs the full query path for one record against the segmented
-// table: merged blocking, negative-rule vetoes, per-configuration
-// closest-candidate scans, and the learning-faithful union resolution —
-// the exact Matcher.matchOne sequence over Ref-addressed storage. Caller
-// must hold the read lock.
+// table: the cached (or freshly filled) blocking + negative-rule +
+// query-profile entry, per-configuration closest-candidate scans, and the
+// learning-faithful union resolution — the exact Matcher.matchOne
+// sequence over Ref-addressed storage. Caller must hold the read lock,
+// which also pins the generation for the duration of the call.
 //
 //autofj:hotpath
 func (t *Table) matchOne(ms *tableScratch, key string, row []string) (Match, bool) {
 	if len(t.configs) == 0 || t.tix.Len() == 0 {
 		return noMatch(), false
 	}
-	ms.cands = t.tix.AppendTopK(ms.cands[:0], ms.sc, key, t.k)
-	ids := ms.ids[:0]
-	if t.hasRules {
-		ms.qwords = negrule.AppendWordSet(ms.qwords[:0], key)
-		for _, c := range ms.cands {
-			pl, local := t.payload(t.tix.Ref(int(c.ID)))
-			if !t.rules.BlocksPair(pl.words[local], ms.qwords) {
-				ids = append(ids, c.ID)
-			}
-		}
-	} else {
-		for _, c := range ms.cands {
-			ids = append(ids, c.ID)
-		}
-	}
-	ms.ids = ids
-	if len(ids) == 0 {
-		return noMatch(), false
-	}
+	gen := t.gen.Load()
+	var e *queryEntry
 	if t.multi {
-		for j, cj := range t.columns {
-			ms.qcells[j] = row[cj]
-		}
+		// Full-row key: the blocking key concatenates every cell, so rows
+		// differing only outside the program's columns can block apart.
+		ms.kbuf = appendRowKey(ms.kbuf[:0], row)
+		e = t.cache.lookupBytes(ms.kbuf, gen)
 	} else {
-		ms.qcells[0] = key
+		e = t.cache.lookup(key, gen)
 	}
-	for j := range t.cols {
-		//autofj:alloc-ok one profile bundle per query cell; amortized across every configuration scored against it
-		ms.qprof[j] = t.cols[j].corpus.Profile(ms.qcells[j])
+	if e == nil {
+		if t.multi && key == "" {
+			// Multi-column callers pass an empty key so the concatenated
+			// blocking key is only materialized on a cache miss — the warm
+			// path never touches it.
+			//autofj:alloc-ok cache-fill edge: the blocking key is concatenated once per distinct row
+			key = concatRow(row)
+		}
+		//autofj:alloc-ok cache-fill edge: one entry build per (generation, surface form), amortized across every repeat
+		e = t.fillEntry(ms, gen, key, row)
+		if t.multi {
+			//autofj:alloc-ok cache-fill edge: the composite key string is materialized once per distinct row
+			t.cache.storeBytes(ms.kbuf, e)
+		} else {
+			t.cache.store(key, e)
+		}
+	}
+	if len(e.cands) == 0 {
+		return noMatch(), false
 	}
 	for ci := range t.configs {
 		ms.bestL[ci] = -1
 		ms.bestD[ci] = math.Inf(1)
 	}
-	for _, l := range ids {
-		t.pairDists(ms, t.tix.Ref(int(l)))
+	for _, l := range e.cands {
+		t.pairDists(ms, e, t.tix.Ref(int(l)))
 		for ci := range ms.drow {
 			if ms.drow[ci] < ms.bestD[ci] {
 				ms.bestD[ci] = ms.drow[ci]
@@ -839,15 +891,14 @@ func (t *Table) matchOne(ms *tableScratch, key string, row []string) (Match, boo
 
 func (t *Table) getScratch() *tableScratch { return t.pool.Get().(*tableScratch) }
 
-// putScratch returns a scratch to the pool with every query- or
-// row-derived reference released, so the pool can never pin user input or
-// removed reference rows.
+// putScratch returns a scratch to the pool. Query-derived references
+// live in cache entries, never in the scratch; the reweight buffers are
+// released because they alias reference-row profile memory, which must
+// not outlive a Remove. TestTableScratchRetainsNoQueryMemory pins the
+// structural half of this invariant.
 //
 //autofj:hotpath
 func (t *Table) putScratch(ms *tableScratch) {
-	clear(ms.qprof)
-	clear(ms.qcells)
-	clear(ms.qwords[:cap(ms.qwords)])
 	ms.rwa.Release()
 	ms.rwb.Release()
 	t.pool.Put(ms)
@@ -885,7 +936,7 @@ func (t *Table) MatchRow(ctx context.Context, row []string) (Match, bool, error)
 	defer t.mu.RUnlock()
 	ms := t.getScratch()
 	defer t.putScratch(ms)
-	mt, ok := t.matchOne(ms, concatRow(row), row)
+	mt, ok := t.matchOne(ms, "", row)
 	return mt, ok, nil
 }
 
@@ -939,7 +990,7 @@ func (t *Table) MatchBatchAt(ctx context.Context, rows [][]string) (*TableBatch,
 	out, err := t.batchLocked(ctx, len(rows), func(ms *tableScratch, i int) Match {
 		var mt Match
 		if t.multi {
-			mt, _ = t.matchOne(ms, concatRow(rows[i]), rows[i])
+			mt, _ = t.matchOne(ms, "", rows[i])
 		} else {
 			mt, _ = t.matchOne(ms, rows[i][0], nil)
 		}

@@ -114,6 +114,32 @@ func (cs *CharScratch) Distances(a, b string, need CharNeed) CharDists {
 	return d
 }
 
+// DistancesRunes is Distances for callers that already hold the rune
+// views of both strings (the columnar arena precomputes reference-side
+// runes once at compile time; the query cache converts the query once
+// per surface form). ra and rb must be exactly []rune(a) and []rune(b);
+// the string forms are still required for Monge-Elkan's field splitting.
+// Results are bit-identical to Distances — the rune conversion is the
+// only work skipped.
+//
+//autofj:hotpath
+func (cs *CharScratch) DistancesRunes(a, b string, ra, rb []rune, need CharNeed) CharDists {
+	var d CharDists
+	if need.ED {
+		d.ED = cs.editDistance(ra, rb)
+	}
+	if need.JW {
+		d.JW = 1 - cs.jaroWinkler(ra, rb)
+	}
+	if need.ME {
+		d.ME = cs.mongeElkan(a, b)
+	}
+	if need.SW {
+		d.SW = cs.smithWaterman(ra, rb)
+	}
+	return d
+}
+
 // editDistance is EditDistance over pre-converted runes.
 //
 //autofj:hotpath
@@ -133,6 +159,17 @@ func (cs *CharScratch) editDistance(ra, rb []rune) float64 {
 //
 //autofj:hotpath
 func (cs *CharScratch) levenshtein(ra, rb []rune) int {
+	// Shared ends contribute no edits — Lev(p+a+s, p+b+s) == Lev(a, b) —
+	// so trim the common prefix and suffix before the quadratic DP. The
+	// returned count is exactly the full-string distance (callers
+	// normalize by the ORIGINAL lengths), and blocked candidate pairs
+	// share long affixes, so this cuts most of the DP area.
+	for len(ra) > 0 && len(rb) > 0 && ra[0] == rb[0] {
+		ra, rb = ra[1:], rb[1:]
+	}
+	for len(ra) > 0 && len(rb) > 0 && ra[len(ra)-1] == rb[len(rb)-1] {
+		ra, rb = ra[:len(ra)-1], rb[:len(rb)-1]
+	}
 	if len(ra) < len(rb) {
 		ra, rb = rb, ra
 	}

@@ -123,6 +123,38 @@ func CosineDistance(a, b Vector) float64 {
 	return d
 }
 
+// CosineDistanceFlat is CosineDistance over Dim-length slices — the
+// columnar arena stores every record's embedding contiguously in one
+// flat block, and the stride-1 loop over the two slices performs the
+// exact arithmetic of CosineDistance (same accumulation order), so the
+// two are bit-identical.
+//
+//autofj:hotpath
+func CosineDistanceFlat(a, b []float64) float64 {
+	a = a[:Dim]
+	b = b[:Dim]
+	var dot, na, nb float64
+	for i := 0; i < Dim; i++ {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 && nb == 0 {
+		return 0
+	}
+	if na == 0 || nb == 0 {
+		return 1
+	}
+	d := 1 - dot/math.Sqrt(na*nb)
+	if d < 0 {
+		return 0
+	}
+	if d > 1 {
+		return 1
+	}
+	return d
+}
+
 // Distance embeds both strings and returns their cosine distance.
 func Distance(a, b string) float64 {
 	return CosineDistance(Embed(a), Embed(b))

@@ -171,6 +171,31 @@ func (r *Registry) snapshotProgs() []*program {
 	return progs
 }
 
+// NormCacheStat is one program's query-normalization cache counters —
+// hits skip tokenization, blocking, and profile construction inside the
+// core table entirely (distinct from the serve-layer result cache, which
+// skips the core altogether).
+type NormCacheStat struct {
+	Program      string
+	Hits, Misses uint64
+}
+
+// NormCacheStats returns the per-program normalization-cache counters,
+// sorted by program name.
+func (r *Registry) NormCacheStats() []NormCacheStat {
+	progs := r.snapshotProgs()
+	out := make([]NormCacheStat, 0, len(progs))
+	for _, p := range progs {
+		cp := p.cur.Load()
+		if cp == nil {
+			continue
+		}
+		hits, misses := cp.table.QueryCacheStats()
+		out = append(out, NormCacheStat{Program: p.name, Hits: hits, Misses: misses})
+	}
+	return out
+}
+
 // ProgramInfo is one row of the registry listing.
 type ProgramInfo struct {
 	Name            string  `json:"name"`

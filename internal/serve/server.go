@@ -120,6 +120,18 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.reg.Metrics().Write(w, time.Now())
+	// Core-table normalization-cache counters live on the tables, not the
+	// metrics sink, so they are rendered from a live registry snapshot.
+	if stats := s.reg.NormCacheStats(); len(stats) > 0 {
+		fmt.Fprintf(w, "# HELP autofjd_normcache_hits_total Query-normalization cache hits per program (repeat queries skipping tokenization, blocking, and profiles).\n# TYPE autofjd_normcache_hits_total counter\n")
+		for _, st := range stats {
+			fmt.Fprintf(w, "autofjd_normcache_hits_total{program=%q} %d\n", st.Program, st.Hits)
+		}
+		fmt.Fprintf(w, "# HELP autofjd_normcache_misses_total Query-normalization cache misses per program.\n# TYPE autofjd_normcache_misses_total counter\n")
+		for _, st := range stats {
+			fmt.Fprintf(w, "autofjd_normcache_misses_total{program=%q} %d\n", st.Program, st.Misses)
+		}
+	}
 }
 
 func (s *Server) handlePrograms(w http.ResponseWriter, _ *http.Request) {

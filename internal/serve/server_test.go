@@ -129,6 +129,13 @@ func TestServerEndpoints(t *testing.T) {
 	if !strings.Contains(string(metricsBody), "autofjd_requests_total") {
 		t.Errorf("metrics output: %s", metricsBody)
 	}
+	// The queries above hit the core table at least once per distinct
+	// surface form, so the per-program normalization-cache counters must
+	// be present and labeled.
+	if !strings.Contains(string(metricsBody), `autofjd_normcache_hits_total{program="orgs"}`) ||
+		!strings.Contains(string(metricsBody), `autofjd_normcache_misses_total{program="orgs"}`) {
+		t.Errorf("metrics output missing normalization-cache counters: %s", metricsBody)
+	}
 
 	// Error mapping: unknown program 404, wrong arity 400, bad body 400.
 	if code := getJSON(t, ts.URL+"/v1/programs/nope/query?q=x", nil); code != http.StatusNotFound {
